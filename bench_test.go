@@ -1,0 +1,369 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), one Benchmark per exhibit, plus micro-benchmarks of the core
+// operations. Figure benchmarks execute a scaled-down experiment per
+// iteration (they self-measure; the interesting output is the custom
+// metrics, e.g. weaver_tx/s vs titan_tx/s). cmd/weaver-bench runs the same
+// experiments at larger scales with table output.
+package weaver_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"weaver"
+	"weaver/internal/experiments"
+	"weaver/internal/nodeprog"
+	"weaver/internal/progcache"
+	"weaver/internal/workload"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.Default()
+	o.SocialV, o.SocialM = 2000, 6
+	o.Blocks = 120
+	o.RandV, o.RandE = 1200, 4000
+	o.Clients = 12
+	o.Duration = 300 * time.Millisecond
+	o.Queries = 20
+	return o
+}
+
+// BenchmarkTable01TAOMix measures sampling the Table 1 operation mix (the
+// workload generator feeding Figs 9-10).
+func BenchmarkTable01TAOMix(b *testing.B) {
+	mix := workload.TAOMix()
+	r := newRand(1)
+	reads := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch mix.Sample(r) {
+		case workload.OpGetEdges, workload.OpCountEdges, workload.OpGetNode:
+			reads++
+		}
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(reads)/float64(b.N)*100, "read%")
+	}
+}
+
+// BenchmarkFig07BlockQueryLatency compares CoinGraph block queries against
+// the relational Blockchain.info baseline (Fig 7).
+func BenchmarkFig07BlockQueryLatency(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(last.CoinGraph.Microseconds()), "coingraph_us")
+		b.ReportMetric(float64(last.BCInfo.Microseconds()), "bcinfo_us")
+		b.ReportMetric(float64(last.BCInfo)/float64(last.CoinGraph), "speedup_x")
+	}
+}
+
+// BenchmarkFig08BlockThroughput measures CoinGraph block-render throughput
+// across block-height windows (Fig 8).
+func BenchmarkFig08BlockThroughput(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].QueriesSec, "early_q/s")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].QueriesSec, "late_q/s")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].NodesSec, "nodes/s")
+	}
+}
+
+// BenchmarkFig09aTAOThroughput compares Weaver and the Titan baseline on
+// the TAO mix (Fig 9a).
+func BenchmarkFig09aTAOThroughput(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Throughput, "weaver_tx/s")
+		b.ReportMetric(res.Rows[1].Throughput, "titan_tx/s")
+		b.ReportMetric(res.Rows[0].Throughput/res.Rows[1].Throughput, "speedup_x")
+	}
+}
+
+// BenchmarkFig09b75ReadThroughput compares the systems on the 75%-read mix
+// (Fig 9b).
+func BenchmarkFig09b75ReadThroughput(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Throughput, "weaver_tx/s")
+		b.ReportMetric(res.Rows[1].Throughput, "titan_tx/s")
+	}
+}
+
+// BenchmarkFig10LatencyCDF collects the latency distributions behind Fig 10
+// and reports medians.
+func BenchmarkFig10LatencyCDF(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Series["Weaver: 99.8% reads"].Percentile(50).Microseconds()), "weaver_p50_us")
+		b.ReportMetric(float64(res.Series["Titan: 99.8% reads"].Percentile(50).Microseconds()), "titan_p50_us")
+	}
+}
+
+// BenchmarkFig11TraversalLatency compares BFS latency on Weaver vs the
+// GraphLab engines (Fig 11).
+func BenchmarkFig11TraversalLatency(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Weaver.Mean().Microseconds()), "weaver_us")
+		b.ReportMetric(float64(res.Async.Mean().Microseconds()), "gl_async_us")
+		b.ReportMetric(float64(res.Sync.Mean().Microseconds()), "gl_sync_us")
+	}
+}
+
+// BenchmarkFig12GatekeeperScaling sweeps gatekeepers 1..4 on get_node
+// throughput (Fig 12; cmd/weaver-bench sweeps to 6).
+func BenchmarkFig12GatekeeperScaling(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(o, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, fmt.Sprintf("gk%d_tx/s", row.Gatekeepers))
+		}
+	}
+}
+
+// BenchmarkFig13ShardScaling sweeps shards 1..4 on clustering-coefficient
+// throughput (Fig 13; cmd/weaver-bench sweeps to 9).
+func BenchmarkFig13ShardScaling(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(o, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, fmt.Sprintf("sh%d_tx/s", row.Shards))
+		}
+	}
+}
+
+// BenchmarkFig14CoordinationOverhead sweeps the announce period τ and
+// reports both coordination channels per operation (Fig 14).
+func BenchmarkFig14CoordinationOverhead(b *testing.B) {
+	o := benchOptions()
+	taus := []time.Duration{100 * time.Microsecond, 2 * time.Millisecond, 50 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(o, taus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(first.AnnouncesPerOp, "smalltau_announce/op")
+		b.ReportMetric(last.AnnouncesPerOp, "bigtau_announce/op")
+		b.ReportMetric(first.OraclePerOp, "smalltau_oracle/op")
+		b.ReportMetric(last.OraclePerOp, "bigtau_oracle/op")
+	}
+}
+
+// --- Micro-benchmarks of core operations ---
+
+func benchCluster(b *testing.B, gks, shards int) *weaver.Cluster {
+	b.Helper()
+	c, err := weaver.Open(weaver.Config{
+		Gatekeepers:    gks,
+		Shards:         shards,
+		AnnouncePeriod: 500 * time.Microsecond,
+		NopPeriod:      250 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+// BenchmarkTxCreateVertex measures single-vertex transaction commits.
+func BenchmarkTxCreateVertex(b *testing.B) {
+	c := benchCluster(b, 2, 2)
+	cl := c.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := cl.Begin()
+		tx.CreateVertex(weaver.VertexID(fmt.Sprintf("v%d", i)))
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxCreateEdge measures edge-append transactions to one vertex.
+func BenchmarkTxCreateEdge(b *testing.B) {
+	c := benchCluster(b, 2, 2)
+	cl := c.Client()
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		tx.CreateVertex("hub")
+		tx.CreateVertex("spoke")
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := cl.Begin()
+		tx.CreateEdge("hub", "spoke")
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetNodeProgram measures the full node-program round trip for a
+// vertex-local read (the Fig 12 unit of work).
+func BenchmarkGetNodeProgram(b *testing.B) {
+	c := benchCluster(b, 2, 2)
+	cl := c.Client()
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		tx.CreateVertex("v")
+		tx.SetProperty("v", "k", "val")
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := cl.GetNode("v"); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraverseChain measures a 32-hop BFS across 4 shards.
+func BenchmarkTraverseChain(b *testing.B) {
+	c := benchCluster(b, 2, 4)
+	cl := c.Client()
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		for i := 0; i < 32; i++ {
+			tx.CreateVertex(weaver.VertexID(fmt.Sprintf("c%d", i)))
+		}
+		for i := 0; i < 31; i++ {
+			tx.CreateEdge(weaver.VertexID(fmt.Sprintf("c%d", i)), weaver.VertexID(fmt.Sprintf("c%d", i+1)))
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _, err := cl.Traverse("c0", "", "", 0)
+		if err != nil || len(ids) != 32 {
+			b.Fatalf("len=%d err=%v", len(ids), err)
+		}
+	}
+}
+
+// BenchmarkAblationProgCache measures the §4.6 node-program cache: repeated
+// identical traversals with memoization versus without (the paper runs all
+// benchmarks with caching disabled; this quantifies what it leaves out).
+func BenchmarkAblationProgCache(b *testing.B) {
+	c := benchCluster(b, 1, 2)
+	cl := c.Client()
+	const n = 64
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		for i := 0; i < n; i++ {
+			tx.CreateVertex(weaver.VertexID(fmt.Sprintf("p%d", i)))
+		}
+		for i := 0; i < n-1; i++ {
+			tx.CreateEdge(weaver.VertexID(fmt.Sprintf("p%d", i)), weaver.VertexID(fmt.Sprintf("p%d", i+1)))
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	cache := progcache.New(128)
+	deps := make([]weaver.VertexID, n)
+	for i := range deps {
+		deps[i] = weaver.VertexID(fmt.Sprintf("p%d", i))
+	}
+	key := progcache.Key{Program: "traverse", Params: "all", Vertex: "p0"}
+	var uncached, cached time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, ok := cache.Get(key); !ok {
+			res, _, err := cl.RunProgram("traverse", nodeprog.Encode(nodeprog.TraverseParams{}), "p0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache.Put(key, res, deps)
+			uncached += time.Since(t0)
+		} else {
+			cached += time.Since(t0)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits > 0 {
+		b.ReportMetric(float64(cached.Nanoseconds())/float64(st.Hits), "cached_ns/op")
+	}
+	if st.Misses > 0 {
+		b.ReportMetric(float64(uncached.Nanoseconds())/float64(st.Misses), "uncached_ns/op")
+	}
+}
+
+// BenchmarkAblationOracleReplication compares the direct timeline oracle
+// against the chain-replicated deployment (§3.4): the cost of fault
+// tolerance on the reactive ordering path.
+func BenchmarkAblationOracleReplication(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		replicas int
+	}{{"direct", 0}, {"chain3", 3}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			c, err := weaver.Open(weaver.Config{
+				Gatekeepers:    2,
+				Shards:         2,
+				AnnouncePeriod: 500 * time.Microsecond,
+				NopPeriod:      250 * time.Microsecond,
+				OracleReplicas: cfg.replicas,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			cl := c.Client()
+			if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+				tx.CreateVertex("hot")
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+					tx.SetProperty("hot", "n", fmt.Sprintf("%d", i))
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

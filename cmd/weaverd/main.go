@@ -1,0 +1,215 @@
+// Command weaverd runs one Weaver server in a multi-process TCP
+// deployment. Roles:
+//
+//	store      — the backing store and timeline oracle services
+//	gatekeeper — one timestamping/transaction server (-id N)
+//	shard      — one graph partition server (-id N)
+//	demo       — a client driving a smoke workload through gatekeeper 0
+//
+// Every process takes the same topology flags so the routing tables agree:
+//
+//	weaverd -role store      -listen :7000
+//	weaverd -role shard      -id 0 -listen :7101 -store localhost:7000 -gatekeepers 1 -shards 2 -shard-addrs localhost:7101,localhost:7102
+//	weaverd -role shard      -id 1 -listen :7102 -store localhost:7000 -gatekeepers 1 -shards 2 -shard-addrs localhost:7101,localhost:7102
+//	weaverd -role gatekeeper -id 0 -listen :7201 -store localhost:7000 -gatekeepers 1 -shards 2 -shard-addrs localhost:7101,localhost:7102 -gk-addrs localhost:7201
+//	weaverd -role demo       -listen :7201     ...same topology flags...
+//
+// The demo role is the zero-to-one smoke test for a fresh deployment: it
+// acts as gatekeeper 0 itself (run it in place of the gatekeeper process,
+// listening on gatekeeper 0's address), commits a small graph, and runs a
+// traversal through the full TCP stack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"weaver/internal/gatekeeper"
+	"weaver/internal/graph"
+	"weaver/internal/kvstore"
+	"weaver/internal/nodeprog"
+	"weaver/internal/oracle"
+	"weaver/internal/partition"
+	"weaver/internal/remote"
+	"weaver/internal/shard"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+func main() {
+	var (
+		role       = flag.String("role", "", "store | gatekeeper | shard | demo")
+		id         = flag.Int("id", 0, "server index within its role")
+		listen     = flag.String("listen", ":0", "listen address")
+		storeAddr  = flag.String("store", "localhost:7000", "store node host:port")
+		gks        = flag.Int("gatekeepers", 1, "gatekeeper count")
+		shards     = flag.Int("shards", 1, "shard count")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated shard node host:port list")
+		gkAddrs    = flag.String("gk-addrs", "", "comma-separated gatekeeper node host:port list")
+		tau        = flag.Duration("tau", time.Millisecond, "vector clock announce period τ")
+		nop        = flag.Duration("nop", 500*time.Microsecond, "NOP period")
+		wal        = flag.String("wal", "", "WAL path for a durable store (role=store)")
+		oracleReps = flag.Int("oracle-replicas", 1, "chain replication factor for the oracle (role=store)")
+	)
+	flag.Parse()
+	wire.RegisterGob()
+
+	node, err := transport.NewTCPNode(*listen, nil)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer node.Close()
+	log.Printf("weaverd role=%s id=%d listening on %s", *role, *id, node.ListenAddr())
+
+	// Routing: the store node hosts kv+oracle; shard/gatekeeper nodes are
+	// enumerated; client/server response addresses route by prefix.
+	node.SetRoute("kv", *storeAddr)
+	node.SetRoute("oracle", *storeAddr)
+	for i, a := range splitList(*shardAddrs) {
+		node.SetRoute(fmt.Sprintf("shard/%d", i), a)
+		node.SetRoute(fmt.Sprintf("shorc/%d", i), a)
+	}
+	for i, a := range splitList(*gkAddrs) {
+		node.SetRoute(fmt.Sprintf("gk/%d", i), a)
+		node.SetRoute(fmt.Sprintf("gkkv/%d", i), a)
+		node.SetRoute(fmt.Sprintf("gkorc/%d", i), a)
+		node.SetRoute(fmt.Sprintf("democ/%d", i), a)
+	}
+
+	dir := partition.NewHash(*shards)
+	reg := nodeprog.NewRegistry()
+
+	switch *role {
+	case "store":
+		var st *kvstore.Store
+		if *wal != "" {
+			st, err = kvstore.NewDurable(*wal)
+			if err != nil {
+				log.Fatalf("open store: %v", err)
+			}
+		} else {
+			st = kvstore.New()
+		}
+		kvSrv := remote.NewKVServer(node.Endpoint("kv"), st)
+		kvSrv.Start()
+		defer kvSrv.Stop()
+		var orc oracle.Client
+		if *oracleReps > 1 {
+			orc = oracle.NewReplicated(*oracleReps)
+		} else {
+			orc = oracle.NewService()
+		}
+		orcSrv := remote.NewOracleServer(node.Endpoint("oracle"), orc)
+		orcSrv.Start()
+		defer orcSrv.Stop()
+		log.Printf("store ready (wal=%q oracle-replicas=%d)", *wal, *oracleReps)
+		waitForSignal()
+
+	case "shard":
+		orc := remote.NewOracleClient(node.Endpoint(transport.Addr(fmt.Sprintf("shorc/%d", *id))), "oracle", 10*time.Second)
+		defer orc.Close()
+		kv := remote.NewKVClient(node.Endpoint(transport.Addr(fmt.Sprintf("shkv/%d", *id))), "kv", 10*time.Second)
+		defer kv.Close()
+		sh := shard.New(shard.Config{ID: *id, NumGatekeepers: *gks},
+			node.Endpoint(transport.ShardAddr(*id)), orc, reg, dir)
+		n := sh.Recover(kv)
+		sh.Start()
+		defer sh.Stop()
+		log.Printf("shard %d ready (%d vertices recovered)", *id, n)
+		waitForSignal()
+
+	case "gatekeeper":
+		kv := remote.NewKVClient(node.Endpoint(transport.Addr(fmt.Sprintf("gkkv/%d", *id))), "kv", 10*time.Second)
+		defer kv.Close()
+		orc := remote.NewOracleClient(node.Endpoint(transport.Addr(fmt.Sprintf("gkorc/%d", *id))), "oracle", 10*time.Second)
+		defer orc.Close()
+		gk := gatekeeper.New(gatekeeper.Config{
+			ID:             *id,
+			NumGatekeepers: *gks,
+			NumShards:      *shards,
+			AnnouncePeriod: *tau,
+			NopPeriod:      *nop,
+		}, node.Endpoint(transport.GatekeeperAddr(*id)), kv, orc, dir)
+		gk.Start()
+		defer gk.Stop()
+		log.Printf("gatekeeper %d ready (τ=%v nop=%v)", *id, *tau, *nop)
+		waitForSignal()
+
+	case "demo":
+		// The demo process IS gatekeeper `id` (default 0): run it in
+		// place of that gatekeeper, on that gatekeeper's listen address,
+		// so shard-side routing reaches it. Clients embed the gatekeeper
+		// API in-process, exactly like the weaver.Cluster library mode.
+		kv := remote.NewKVClient(node.Endpoint(transport.Addr(fmt.Sprintf("gkkv/%d", *id))), "kv", 10*time.Second)
+		defer kv.Close()
+		orc := remote.NewOracleClient(node.Endpoint(transport.Addr(fmt.Sprintf("gkorc/%d", *id))), "oracle", 10*time.Second)
+		defer orc.Close()
+		gk := gatekeeper.New(gatekeeper.Config{
+			ID:             *id,
+			NumGatekeepers: *gks,
+			NumShards:      *shards,
+			AnnouncePeriod: *tau,
+			NopPeriod:      *nop,
+			ProgTimeout:    15 * time.Second,
+		}, node.Endpoint(transport.GatekeeperAddr(*id)), kv, orc, dir)
+		gk.Start()
+		defer gk.Stop()
+		runDemo(gk)
+
+	default:
+		fmt.Fprintln(os.Stderr, "weaverd: -role must be store, gatekeeper, shard, or demo")
+		os.Exit(2)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+	log.Println("shutting down")
+}
+
+func runDemo(gk *gatekeeper.Gatekeeper) {
+	ops := []graph.Op{
+		{Kind: graph.OpCreateVertex, Vertex: "demo/a"},
+		{Kind: graph.OpCreateVertex, Vertex: "demo/b"},
+		{Kind: graph.OpCreateVertex, Vertex: "demo/c"},
+		{Kind: graph.OpCreateEdge, Vertex: "demo/a", Edge: "~0", To: "demo/b"},
+		{Kind: graph.OpCreateEdge, Vertex: "demo/b", Edge: "~1", To: "demo/c"},
+	}
+	res, err := gk.CommitTx(nil, ops)
+	if err != nil {
+		log.Fatalf("demo commit: %v", err)
+	}
+	log.Printf("demo committed at %v", res.TS)
+	params := nodeprog.Encode(nodeprog.TraverseParams{})
+	out, _, err := gk.RunProgram("traverse", params, []graph.VertexID{"demo/a"})
+	if err != nil {
+		log.Fatalf("demo traversal: %v", err)
+	}
+	visited := make([]string, 0, len(out))
+	for _, r := range out {
+		var v graph.VertexID
+		if err := nodeprog.Decode(r, &v); err == nil {
+			visited = append(visited, string(v))
+		}
+	}
+	log.Printf("demo traversal visited %d vertices: %v", len(visited), visited)
+	if len(visited) != 3 {
+		log.Fatal("demo FAILED")
+	}
+	log.Println("demo OK ✓")
+}

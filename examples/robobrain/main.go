@@ -1,0 +1,92 @@
+// RoboBrain example (§5.3): a knowledge graph on Weaver. Concepts are
+// vertices, labeled relationships are edges. New, possibly noisy knowledge
+// is merged into existing concepts transactionally — a concept split or
+// merge is atomic, so subgraph queries (node programs) never observe a
+// half-merged network.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weaver"
+)
+
+func main() {
+	c, err := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.Client()
+
+	// Seed the semantic network.
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		for _, concept := range []weaver.VertexID{
+			"concept/mug", "concept/coffee", "concept/kitchen",
+			"concept/grasp", "concept/pour",
+		} {
+			tx.CreateVertex(concept)
+			tx.SetProperty(concept, "source", "seed")
+		}
+		rel := func(from, to weaver.VertexID, label string) {
+			e := tx.CreateEdge(from, to)
+			tx.SetEdgeProperty(from, e, "rel", label)
+		}
+		rel("concept/mug", "concept/coffee", "holds")
+		rel("concept/mug", "concept/kitchen", "found_in")
+		rel("concept/grasp", "concept/mug", "applies_to")
+		rel("concept/pour", "concept/coffee", "applies_to")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A robot observes a new concept "cup" that turns out to be the same
+	// as "mug": merge it atomically — re-point its relations onto mug and
+	// delete the duplicate in one transaction.
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		tx.CreateVertex("concept/cup")
+		e := tx.CreateEdge("concept/cup", "concept/kitchen")
+		tx.SetEdgeProperty("concept/cup", e, "rel", "found_in")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		// Merge: read cup's relations, copy them to mug, delete cup.
+		cup, ok, err := tx.GetVertex("concept/cup")
+		if err != nil || !ok {
+			return fmt.Errorf("cup vanished: %w", err)
+		}
+		for _, e := range cup.Edges {
+			ne := tx.CreateEdge("concept/mug", e.To)
+			for k, v := range e.Props {
+				tx.SetEdgeProperty("concept/mug", ne, k, v)
+			}
+		}
+		tx.DeleteVertex("concept/cup")
+		tx.SetProperty("concept/mug", "aliases", "cup")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("merged concept/cup into concept/mug atomically")
+
+	// Subgraph query: what applies to things found in the kitchen?
+	mug, _, err := cl.GetNode("concept/mug")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mug: %v (degree %d, aliases=%q)\n", mug.ID, mug.NumEdges, mug.Props["aliases"])
+
+	reachable, _, err := cl.Traverse("concept/grasp", "", "", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knowledge reachable from concept/grasp: %v\n", reachable)
+
+	if ok, _ := cl.Reachable("concept/grasp", "concept/kitchen"); ok {
+		fmt.Println("grasp transitively relates to kitchen ✓")
+	}
+}

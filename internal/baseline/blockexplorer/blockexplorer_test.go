@@ -1,0 +1,58 @@
+package blockexplorer
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"weaver/internal/workload"
+)
+
+func TestRenderBlock(t *testing.T) {
+	e := New()
+	bc := workload.NewBlockchain(50, 3)
+	e.Load(bc)
+	if e.NumTxs() != bc.Txs {
+		t.Fatalf("loaded %d txs, want %d", e.NumTxs(), bc.Txs)
+	}
+	data, err := e.RenderBlock(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BlockJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Block != string(workload.BlockID(25)) {
+		t.Fatalf("block = %s", out.Block)
+	}
+	if len(out.Txs) != bc.TxsInBlock(25) {
+		t.Fatalf("rendered %d txs, want %d", len(out.Txs), bc.TxsInBlock(25))
+	}
+	for _, tx := range out.Txs {
+		if len(tx.Outputs) == 0 {
+			t.Fatalf("tx %s has no outputs", tx.ID)
+		}
+	}
+}
+
+func TestRenderMissingBlock(t *testing.T) {
+	e := New()
+	e.Load(workload.NewBlockchain(5, 1))
+	if _, err := e.RenderBlock(99); err == nil {
+		t.Fatal("missing block must error")
+	}
+}
+
+func TestWANDelayApplied(t *testing.T) {
+	e := New()
+	e.Load(workload.NewBlockchain(5, 1))
+	e.WANDelay = 20 * time.Millisecond
+	start := time.Now()
+	if _, err := e.RenderBlock(2); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("WAN delay not applied: %v", d)
+	}
+}

@@ -1,0 +1,273 @@
+// Package graphlab reproduces the offline graph-processing baseline of
+// §6.3: a GraphLab/PowerGraph-style vertex-program engine over a static
+// in-memory graph, with both execution engines the paper benchmarks:
+//
+//   - Sync: bulk-synchronous supersteps — every active vertex runs, then a
+//     global barrier, then the next superstep ("Synchronous GraphLab uses
+//     barriers").
+//   - Async: a worker pool with edge consistency — a vertex update holds
+//     locks on the vertex and its neighbors, so adjacent vertices never
+//     execute simultaneously ("asynchronous GraphLab prevents neighboring
+//     vertices from executing simultaneously").
+//
+// Both limiters are real (sync.WaitGroup barriers, per-vertex mutexes with
+// ordered acquisition). BarrierDelay/LockDelay inject the network cost
+// those mechanisms carry in a distributed deployment (the paper ran
+// GraphLab v2.2 on a cluster); zero measures the pure algorithm.
+package graphlab
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weaver/internal/graph"
+)
+
+// Graph is the static input graph (built once, then read-only).
+type Graph struct {
+	out map[graph.VertexID][]graph.VertexID
+	ids []graph.VertexID
+	idx map[graph.VertexID]int
+}
+
+// NewGraph returns an empty static graph.
+func NewGraph() *Graph {
+	return &Graph{out: make(map[graph.VertexID][]graph.VertexID), idx: make(map[graph.VertexID]int)}
+}
+
+// AddVertex registers a vertex.
+func (g *Graph) AddVertex(v graph.VertexID) {
+	if _, ok := g.idx[v]; ok {
+		return
+	}
+	g.idx[v] = len(g.ids)
+	g.ids = append(g.ids, v)
+	if _, ok := g.out[v]; !ok {
+		g.out[v] = nil
+	}
+}
+
+// AddEdge registers a directed edge (vertices are auto-registered).
+func (g *Graph) AddEdge(from, to graph.VertexID) {
+	g.AddVertex(from)
+	g.AddVertex(to)
+	g.out[from] = append(g.out[from], to)
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.ids) }
+
+// Out returns the out-neighbors of v.
+func (g *Graph) Out(v graph.VertexID) []graph.VertexID { return g.out[v] }
+
+// Config tunes the engines.
+type Config struct {
+	// Workers is the parallelism (0 = 4).
+	Workers int
+	// BarrierDelay models the cluster-wide synchronization cost of each
+	// sync-engine superstep barrier.
+	BarrierDelay time.Duration
+	// LockDelay models the remote lock acquisition cost the async engine
+	// pays to guarantee edge consistency for each vertex update.
+	LockDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// Engine runs BFS-style vertex programs over a static graph.
+type Engine struct {
+	g     *Graph
+	cfg   Config
+	locks []sync.Mutex // per-vertex, async engine edge consistency
+}
+
+// NewEngine builds an engine over g.
+func NewEngine(g *Graph, cfg Config) *Engine {
+	return &Engine{g: g, cfg: cfg.withDefaults(), locks: make([]sync.Mutex, len(g.ids))}
+}
+
+// ReachableSync answers a reachability query with the synchronous engine.
+// Faithful to GraphLab v2.2's sync engine, every superstep sweeps ALL
+// vertices (the engine schedules the full vertex set and applies updates
+// synchronously; there is no frontier optimization), then runs a global
+// barrier. Both costs — the full sweep and the cluster-wide barrier per
+// level — are what the paper measures against (§6.3).
+func (e *Engine) ReachableSync(start, target graph.VertexID) bool {
+	if start == target {
+		return true
+	}
+	si, ok := e.g.idx[start]
+	if !ok {
+		return false
+	}
+	cur := make([]bool, len(e.g.ids))
+	cur[si] = true
+	for {
+		var found atomic.Bool
+		var wg sync.WaitGroup
+		n := len(e.g.ids)
+		chunk := (n + e.cfg.Workers - 1) / e.cfg.Workers
+		adds := make([][]int, e.cfg.Workers)
+		for w := 0; w < e.cfg.Workers; w++ {
+			lo := w * chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				// Full sweep: every vertex runs its update; newly
+				// activated vertices are gathered per worker and
+				// merged after the barrier (synchronous semantics).
+				for i := lo; i < hi; i++ {
+					if !cur[i] {
+						continue
+					}
+					for _, nb := range e.g.out[e.g.ids[i]] {
+						ni := e.g.idx[nb]
+						if nb == target {
+							found.Store(true)
+						}
+						if !cur[ni] {
+							adds[w] = append(adds[w], ni)
+						}
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Global barrier between supersteps (all machines synchronize
+		// before the next level).
+		if e.cfg.BarrierDelay > 0 {
+			time.Sleep(e.cfg.BarrierDelay)
+		}
+		if found.Load() {
+			return true
+		}
+		changed := false
+		for _, a := range adds {
+			for _, ni := range a {
+				if !cur[ni] {
+					cur[ni] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+}
+
+// ReachableAsync answers a reachability query with the asynchronous
+// engine: a shared work queue, with each vertex update acquiring locks on
+// the vertex and all its neighbors (edge consistency) before running.
+func (e *Engine) ReachableAsync(start, target graph.VertexID) bool {
+	if start == target {
+		return true
+	}
+	if _, ok := e.g.idx[start]; !ok {
+		return false
+	}
+	var (
+		mu      sync.Mutex
+		queue   = []graph.VertexID{start}
+		visited = make([]bool, len(e.g.ids))
+		active  = 1 // queued or running tasks
+		found   = false
+		cond    = sync.NewCond(&mu)
+	)
+	visited[e.g.idx[start]] = true
+
+	worker := func() {
+		for {
+			mu.Lock()
+			for len(queue) == 0 && active > 0 && !found {
+				cond.Wait()
+			}
+			if found || (len(queue) == 0 && active == 0) {
+				mu.Unlock()
+				return
+			}
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			mu.Unlock()
+
+			e.lockScope(v)
+			var spawn []graph.VertexID
+			hit := false
+			for _, nb := range e.g.out[v] {
+				if nb == target {
+					hit = true
+				}
+				ni := e.g.idx[nb]
+				mu.Lock()
+				if !visited[ni] {
+					visited[ni] = true
+					spawn = append(spawn, nb)
+				}
+				mu.Unlock()
+			}
+			e.unlockScope(v)
+
+			mu.Lock()
+			if hit {
+				found = true
+			}
+			queue = append(queue, spawn...)
+			active += len(spawn) - 1
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); worker() }()
+	}
+	wg.Wait()
+	return found
+}
+
+// lockScope acquires the edge-consistency scope of v: the vertex plus all
+// its neighbors, in index order (deadlock avoidance), paying the modeled
+// distributed locking cost once per update.
+func (e *Engine) lockScope(v graph.VertexID) {
+	if e.cfg.LockDelay > 0 {
+		time.Sleep(e.cfg.LockDelay)
+	}
+	for _, i := range e.scope(v) {
+		e.locks[i].Lock()
+	}
+}
+
+func (e *Engine) unlockScope(v graph.VertexID) {
+	s := e.scope(v)
+	for i := len(s) - 1; i >= 0; i-- {
+		e.locks[s[i]].Unlock()
+	}
+}
+
+func (e *Engine) scope(v graph.VertexID) []int {
+	set := map[int]struct{}{e.g.idx[v]: {}}
+	for _, nb := range e.g.out[v] {
+		set[e.g.idx[nb]] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package graphlab
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"weaver/internal/graph"
+	"weaver/internal/workload"
+)
+
+func chainGraph(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.VertexID(fmt.Sprintf("v%d", i)), graph.VertexID(fmt.Sprintf("v%d", i+1)))
+	}
+	return g
+}
+
+func TestReachableSyncChain(t *testing.T) {
+	g := chainGraph(50)
+	e := NewEngine(g, Config{Workers: 4})
+	if !e.ReachableSync("v0", "v49") {
+		t.Fatal("end of chain must be reachable")
+	}
+	if e.ReachableSync("v49", "v0") {
+		t.Fatal("reverse must be unreachable")
+	}
+	if !e.ReachableSync("v5", "v5") {
+		t.Fatal("self reachability")
+	}
+	if e.ReachableSync("ghost", "v0") {
+		t.Fatal("missing start")
+	}
+}
+
+func TestReachableAsyncChain(t *testing.T) {
+	g := chainGraph(50)
+	e := NewEngine(g, Config{Workers: 4})
+	if !e.ReachableAsync("v0", "v49") {
+		t.Fatal("end of chain must be reachable")
+	}
+	if e.ReachableAsync("v49", "v0") {
+		t.Fatal("reverse must be unreachable")
+	}
+	if !e.ReachableAsync("v5", "v5") {
+		t.Fatal("self reachability")
+	}
+	if e.ReachableAsync("ghost", "v0") {
+		t.Fatal("missing start")
+	}
+}
+
+// Both engines must agree with a reference BFS on random graphs.
+func TestEnginesAgreeWithReference(t *testing.T) {
+	wg := workload.Random(300, 900, 17)
+	g := NewGraph()
+	for _, v := range wg.Vertices {
+		g.AddVertex(v)
+	}
+	for _, e := range wg.Edges {
+		g.AddEdge(e.From, e.To)
+	}
+	ref := func(start, target graph.VertexID) bool {
+		seen := map[graph.VertexID]bool{start: true}
+		stack := []graph.VertexID{start}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == target {
+				return true
+			}
+			for _, nb := range wg.Out[v] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		return false
+	}
+	e := NewEngine(g, Config{Workers: 6})
+	for i := 0; i < 30; i++ {
+		start := wg.Vertices[(i*37)%len(wg.Vertices)]
+		target := wg.Vertices[(i*91+5)%len(wg.Vertices)]
+		want := ref(start, target)
+		if got := e.ReachableSync(start, target); got != want {
+			t.Fatalf("sync disagrees on %s→%s: got %v want %v", start, target, got, want)
+		}
+		if got := e.ReachableAsync(start, target); got != want {
+			t.Fatalf("async disagrees on %s→%s: got %v want %v", start, target, got, want)
+		}
+	}
+}
+
+func TestBarrierDelaySlowsSync(t *testing.T) {
+	g := chainGraph(20) // 19 supersteps
+	fast := NewEngine(g, Config{Workers: 2})
+	slow := NewEngine(g, Config{Workers: 2, BarrierDelay: time.Millisecond})
+	t0 := time.Now()
+	fast.ReachableSync("v0", "v19")
+	df := time.Since(t0)
+	t0 = time.Now()
+	slow.ReachableSync("v0", "v19")
+	ds := time.Since(t0)
+	if ds < 15*time.Millisecond {
+		t.Fatalf("barrier delay not applied: %v", ds)
+	}
+	if df > ds {
+		t.Fatalf("fast engine slower than slow: %v > %v", df, ds)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := chainGraph(3)
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if len(g.Out("v0")) != 1 || g.Out("v0")[0] != "v1" {
+		t.Fatalf("Out(v0) = %v", g.Out("v0"))
+	}
+	g.AddVertex("v0") // idempotent
+	if g.NumVertices() != 3 {
+		t.Fatal("AddVertex must be idempotent")
+	}
+}

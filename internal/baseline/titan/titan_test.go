@@ -1,0 +1,178 @@
+package titan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"weaver/internal/graph"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(Config{Partitions: 4})
+	s.LoadVertex("a", map[string]string{"name": "a"})
+	s.LoadVertex("b", nil)
+	s.LoadEdge("a", "b")
+
+	tx := s.Begin("a")
+	props, deg, ok := tx.GetNode("a")
+	if !ok || props["name"] != "a" || deg != 1 {
+		t.Fatalf("GetNode: %v %d %v", props, deg, ok)
+	}
+	edges, ok := tx.GetEdges("a")
+	if !ok || len(edges) != 1 || edges[0] != "b" {
+		t.Fatalf("GetEdges: %v", edges)
+	}
+	n, ok := tx.CountEdges("a")
+	if !ok || n != 1 {
+		t.Fatalf("CountEdges: %d", n)
+	}
+	tx.Commit()
+
+	tx = s.Begin("a", "c")
+	if _, _, ok := tx.GetNode("missing"); ok {
+		t.Fatal("missing vertex")
+	}
+	if err := tx.CreateEdge("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	tx = s.Begin("a")
+	if n, _ := tx.CountEdges("a"); n != 2 {
+		t.Fatalf("after create: %d", n)
+	}
+	if err := tx.DeleteEdge("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	tx = s.Begin("a")
+	if n, _ := tx.CountEdges("a"); n != 1 {
+		t.Fatalf("after delete: %d", n)
+	}
+	tx.Commit()
+	tx = s.Begin("x")
+	if err := tx.CreateEdge("ghost", "y"); err == nil {
+		t.Fatal("edge on missing vertex must error")
+	}
+	if err := tx.DeleteEdge("ghost", "y"); err == nil {
+		t.Fatal("delete on missing vertex must error")
+	}
+	tx.Commit()
+}
+
+// Locks must serialize transactions touching the same vertex: with a lock
+// hold time of ~d, two conflicting transactions cannot overlap.
+func TestLockSerialization(t *testing.T) {
+	s := New(Config{Partitions: 2})
+	s.LoadVertex("hot", nil)
+	var mu sync.Mutex
+	var active, maxActive int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tx := s.Begin("hot")
+				mu.Lock()
+				active++
+				if active > maxActive {
+					maxActive = active
+				}
+				mu.Unlock()
+				tx.CountEdges("hot")
+				mu.Lock()
+				active--
+				mu.Unlock()
+				tx.Commit()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxActive > 1 {
+		t.Fatalf("lock failed: %d transactions held the same lock", maxActive)
+	}
+}
+
+// Sorted acquisition must avoid deadlock on crossing lock sets.
+func TestNoDeadlockOnCrossingLocks(t *testing.T) {
+	s := New(Config{Partitions: 2})
+	s.LoadVertex("a", nil)
+	s.LoadVertex("b", nil)
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 200; j++ {
+					var tx *Tx
+					if (i+j)%2 == 0 {
+						tx = s.Begin("a", "b")
+					} else {
+						tx = s.Begin("b", "a")
+					}
+					tx.CreateEdge("a", "b")
+					tx.Commit()
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: crossing lock sets never finished")
+	}
+}
+
+func TestInjectedDelaysSlowOps(t *testing.T) {
+	fast := New(Config{Partitions: 1})
+	slow := New(Config{Partitions: 1, LockDelay: 2 * time.Millisecond, NetDelay: time.Millisecond})
+	for _, s := range []*Store{fast, slow} {
+		s.LoadVertex("v", nil)
+	}
+	measure := func(s *Store) time.Duration {
+		start := time.Now()
+		tx := s.Begin("v")
+		tx.CountEdges("v")
+		tx.Commit()
+		return time.Since(start)
+	}
+	df, ds := measure(fast), measure(slow)
+	if ds < 5*time.Millisecond {
+		t.Fatalf("delays not applied: %v", ds)
+	}
+	if df > ds {
+		t.Fatalf("fast (%v) slower than slow (%v)", df, ds)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	s := New(Config{Partitions: 4})
+	for i := 0; i < 50; i++ {
+		s.LoadVertex(graph.VertexID(fmt.Sprintf("v%d", i)), nil)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				from := graph.VertexID(fmt.Sprintf("v%d", (w*7+j)%50))
+				to := graph.VertexID(fmt.Sprintf("v%d", (w*13+j)%50))
+				tx := s.Begin(from, to)
+				if j%2 == 0 {
+					tx.CreateEdge(from, to)
+				} else {
+					tx.GetEdges(from)
+				}
+				tx.Commit()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentilesAndMean(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.N() != 100 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if p := l.Percentile(50); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := l.Percentile(0); p != time.Millisecond {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := l.Percentile(100); p != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", p)
+	}
+	if m := l.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestEmptyLatencies(t *testing.T) {
+	var l Latencies
+	if l.Percentile(50) != 0 || l.Mean() != 0 || l.CDF(4) != nil {
+		t.Fatal("empty recorder must return zeros")
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	var l Latencies
+	for i := 100; i >= 1; i-- {
+		l.Add(time.Duration(i) * time.Microsecond)
+	}
+	cdf := l.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Latency < cdf[i-1].Latency || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotonic at %d: %+v", i, cdf)
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1.0 {
+		t.Fatal("CDF must end at 1.0")
+	}
+}
+
+func TestThroughputCountsOps(t *testing.T) {
+	ops, lat, errs := Throughput(4, 50*time.Millisecond, func(c, i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if errs != 0 {
+		t.Fatalf("errs = %d", errs)
+	}
+	// 4 clients × ~50 iterations ≈ 200 ops in 50ms ⇒ ~4000/s, very loose
+	// bounds for CI noise.
+	if ops < 500 || ops > 20000 {
+		t.Fatalf("ops/s = %f", ops)
+	}
+	if lat.N() == 0 {
+		t.Fatal("latencies not recorded")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 3.14159)
+	tb.Row("b", 10*time.Millisecond)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.14") || !strings.Contains(out, "10ms") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,131 @@
+// Package chainrep implements chain replication [62], the fault-tolerance
+// scheme of Weaver's timeline oracle (§3.4): replicas form a chain;
+// updates enter at the head and propagate to the tail, which acknowledges;
+// queries may execute on any replica ("updates to the event dependency
+// graph occur at the head of the chain, while queries can execute on any
+// copy of the graph"). A failed replica is unlinked and the chain heals;
+// because every prefix of the chain has seen every acknowledged update,
+// no acknowledged state is lost as long as one replica survives.
+//
+// The state machine is generic: replicas each hold an instance produced by
+// a deterministic factory, and updates are deterministic commands, so all
+// replicas converge.
+package chainrep
+
+import (
+	"errors"
+	"sync"
+)
+
+// StateMachine is a deterministic state machine: identical command
+// sequences must yield identical states and replies on every replica.
+type StateMachine interface {
+	// Apply executes a mutating command.
+	Apply(cmd any) any
+	// Query executes a read-only command.
+	Query(q any) any
+}
+
+// ErrNoReplicas is returned when every replica has failed.
+var ErrNoReplicas = errors.New("chainrep: no live replicas")
+
+type replica struct {
+	sm   StateMachine
+	dead bool
+}
+
+// Chain is a chain-replicated state machine.
+type Chain struct {
+	mu       sync.Mutex
+	replicas []*replica
+	updates  uint64
+	queries  uint64
+}
+
+// New builds a chain of n replicas from the factory.
+func New(n int, factory func() StateMachine) *Chain {
+	if n <= 0 {
+		n = 1
+	}
+	c := &Chain{}
+	for i := 0; i < n; i++ {
+		c.replicas = append(c.replicas, &replica{sm: factory()})
+	}
+	return c
+}
+
+// Update applies cmd at the head and propagates it down the chain; the
+// reply is the tail's (every replica computes the same one). The chain
+// lock models the head's serialization of updates.
+func (c *Chain) Update(cmd any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var reply any
+	applied := false
+	for _, r := range c.replicas {
+		if r.dead {
+			continue
+		}
+		reply = r.sm.Apply(cmd)
+		applied = true
+	}
+	if !applied {
+		return nil, ErrNoReplicas
+	}
+	c.updates++
+	return reply, nil
+}
+
+// Query executes q on the replica at the given fraction of the chain
+// (0 = head, 1 = tail); any replica serves reads.
+func (c *Chain) Query(q any, where float64) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var live []*replica
+	for _, r := range c.replicas {
+		if !r.dead {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return nil, ErrNoReplicas
+	}
+	idx := int(where * float64(len(live)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(live) {
+		idx = len(live) - 1
+	}
+	c.queries++
+	return live[idx].sm.Query(q), nil
+}
+
+// Fail marks replica i dead and relinks the chain around it.
+func (c *Chain) Fail(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i >= 0 && i < len(c.replicas) {
+		c.replicas[i].dead = true
+	}
+}
+
+// Live returns the number of live replicas.
+func (c *Chain) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.replicas {
+		if !r.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns (updates, queries) processed.
+func (c *Chain) Stats() (uint64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updates, c.queries
+}

@@ -1,0 +1,106 @@
+package chainrep
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// counterSM is a deterministic test state machine.
+type counterSM struct {
+	mu  sync.Mutex
+	sum int
+}
+
+func (c *counterSM) Apply(cmd any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sum += cmd.(int)
+	return c.sum
+}
+
+func (c *counterSM) Query(any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum
+}
+
+func TestUpdateReachesAllReplicas(t *testing.T) {
+	ch := New(3, func() StateMachine { return &counterSM{} })
+	if _, err := ch.Update(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Update(7); err != nil {
+		t.Fatal(err)
+	}
+	for _, where := range []float64{0, 0.5, 1} {
+		v, err := ch.Query(nil, where)
+		if err != nil || v.(int) != 12 {
+			t.Fatalf("replica at %v: %v, %v", where, v, err)
+		}
+	}
+}
+
+func TestFailureKeepsAcknowledgedState(t *testing.T) {
+	ch := New(3, func() StateMachine { return &counterSM{} })
+	ch.Update(10)
+	ch.Fail(0) // head dies
+	if ch.Live() != 2 {
+		t.Fatalf("live = %d", ch.Live())
+	}
+	v, err := ch.Query(nil, 1)
+	if err != nil || v.(int) != 10 {
+		t.Fatalf("acknowledged state lost: %v, %v", v, err)
+	}
+	if _, err := ch.Update(5); err != nil {
+		t.Fatal("chain must keep accepting updates")
+	}
+	v, _ = ch.Query(nil, 0)
+	if v.(int) != 15 {
+		t.Fatalf("post-failure update lost: %v", v)
+	}
+}
+
+func TestAllReplicasDead(t *testing.T) {
+	ch := New(2, func() StateMachine { return &counterSM{} })
+	ch.Fail(0)
+	ch.Fail(1)
+	if _, err := ch.Update(1); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("update: %v", err)
+	}
+	if _, err := ch.Query(nil, 1); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("query: %v", err)
+	}
+}
+
+func TestConcurrentUpdatesLinearize(t *testing.T) {
+	ch := New(3, func() StateMachine { return &counterSM{} })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ch.Update(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, where := range []float64{0, 1} {
+		v, _ := ch.Query(nil, where)
+		if v.(int) != 800 {
+			t.Fatalf("replica at %v diverged: %v", where, v)
+		}
+	}
+	u, q := ch.Stats()
+	if u != 800 || q < 2 {
+		t.Fatalf("stats = %d, %d", u, q)
+	}
+}
+
+func TestZeroReplicaFloor(t *testing.T) {
+	ch := New(0, func() StateMachine { return &counterSM{} })
+	if ch.Live() != 1 {
+		t.Fatal("chain must have at least one replica")
+	}
+}

@@ -1,0 +1,256 @@
+// Package cluster implements Weaver's cluster manager (§3.2, §4.3): it
+// tracks gatekeeper and shard liveness through heartbeats, and on failure
+// reconfigures the cluster:
+//
+//  1. the epoch bump is committed to a Paxos-replicated configuration log
+//     [37, 55], so manager replicas agree on the epoch history;
+//  2. a barrier moves all servers to the new epoch in unison — gatekeepers
+//     pause timestamp issuance and ack, shards drain in-flight traffic and
+//     reset their FIFO streams and ack, then gatekeepers restart their
+//     vector clocks at zero in the new epoch (old-epoch timestamps order
+//     strictly before all new-epoch ones);
+//  3. the failed server is restarted: a reborn shard reloads its partition
+//     from the backing store; a reborn gatekeeper starts with a fresh
+//     clock in the new epoch.
+//
+// The barrier's in-flight drain relies on the in-process fabric delivering
+// sends into destination mailboxes synchronously; deployments that inject
+// artificial delay should not race failovers against that delay.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"weaver/internal/paxos"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// Server is the control surface the manager needs from every member.
+type Server interface {
+	// Pause blocks new operations (gatekeepers stop issuing timestamps);
+	// no-op for shards.
+	Pause()
+	// Resume reverses Pause.
+	Resume()
+	// EnterEpoch moves the server into the new epoch: gatekeepers reset
+	// clock and sequence numbers, shards drain and reset FIFO streams.
+	EnterEpoch(epoch uint64)
+}
+
+// member is one tracked server.
+type member struct {
+	addr     transport.Addr
+	server   Server
+	restart  func(epoch uint64) Server
+	lastBeat time.Time
+	isGK     bool
+}
+
+// Config tunes failure detection.
+type Config struct {
+	// HeartbeatTimeout declares a server dead after this silence.
+	HeartbeatTimeout time.Duration
+	// CheckPeriod is the detector cadence.
+	CheckPeriod time.Duration
+	// Replicas is the size of the manager's Paxos group (default 3).
+	Replicas int
+	// StartEpoch seeds the epoch counter (a cluster reopened from a
+	// durable backing store resumes above all pre-restart epochs).
+	StartEpoch uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 150 * time.Millisecond
+	}
+	if c.CheckPeriod <= 0 {
+		c.CheckPeriod = c.HeartbeatTimeout / 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	return c
+}
+
+// EpochBump is the configuration-log entry for one reconfiguration.
+type EpochBump struct {
+	Epoch  uint64
+	Failed transport.Addr
+}
+
+// Manager is the cluster manager.
+type Manager struct {
+	cfg Config
+	ep  transport.Endpoint
+	log *paxos.Log
+
+	mu      sync.Mutex
+	members map[transport.Addr]*member
+	epoch   uint64
+
+	recoveries uint64
+	stop       chan struct{}
+	stopOnce   sync.Once
+	done       chan struct{}
+}
+
+// Addr is the manager's well-known address.
+const Addr = transport.Addr("climgr")
+
+// New builds a manager listening on ep. Its configuration log is a
+// Paxos-replicated state machine with cfg.Replicas acceptors (in-process;
+// a real deployment would spread them across machines).
+func New(cfg Config, ep transport.Endpoint) *Manager {
+	cfg = cfg.withDefaults()
+	acc := make([]*paxos.Acceptor, cfg.Replicas)
+	for i := range acc {
+		acc[i] = paxos.NewAcceptor()
+	}
+	return &Manager{
+		cfg:     cfg,
+		ep:      ep,
+		log:     paxos.NewLog(paxos.NewProposer(0, acc)),
+		members: make(map[transport.Addr]*member),
+		epoch:   cfg.StartEpoch,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Register adds a server: its live control handle and a restart factory
+// invoked after the epoch barrier when the server is declared dead.
+func (m *Manager) Register(addr transport.Addr, isGK bool, srv Server, restart func(epoch uint64) Server) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.members[addr] = &member{addr: addr, server: srv, restart: restart, lastBeat: time.Now(), isGK: isGK}
+}
+
+// Epoch returns the current epoch.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Recoveries returns how many reconfigurations have run.
+func (m *Manager) Recoveries() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recoveries
+}
+
+// Start launches the heartbeat listener and failure detector.
+func (m *Manager) Start() {
+	go m.run()
+}
+
+// Stop terminates the manager.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+func (m *Manager) run() {
+	defer close(m.done)
+	tick := time.NewTicker(m.cfg.CheckPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.ep.Recv():
+			for {
+				msg, ok := m.ep.Next()
+				if !ok {
+					break
+				}
+				if hb, ok := msg.Payload.(wire.Heartbeat); ok {
+					m.mu.Lock()
+					if mem, ok := m.members[hb.From]; ok {
+						mem.lastBeat = time.Now()
+					}
+					m.mu.Unlock()
+				}
+			}
+		case <-tick.C:
+			m.checkOnce()
+		}
+	}
+}
+
+func (m *Manager) checkOnce() {
+	m.mu.Lock()
+	var dead *member
+	now := time.Now()
+	for _, mem := range m.members {
+		if now.Sub(mem.lastBeat) > m.cfg.HeartbeatTimeout {
+			dead = mem
+			break
+		}
+	}
+	m.mu.Unlock()
+	if dead != nil {
+		m.Recover(dead.addr)
+	}
+}
+
+// Recover runs the full reconfiguration for the (presumed dead) server at
+// addr: Paxos-logged epoch bump, cluster-wide barrier, restart. Safe to
+// call manually (tests) or from the detector.
+func (m *Manager) Recover(addr transport.Addr) error {
+	m.mu.Lock()
+	dead, ok := m.members[addr]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: unknown member %s", addr)
+	}
+	newEpoch := m.epoch + 1
+	var gks, others []*member
+	for _, mem := range m.members {
+		if mem == dead {
+			continue
+		}
+		if mem.isGK {
+			gks = append(gks, mem)
+		} else {
+			others = append(others, mem)
+		}
+	}
+	m.mu.Unlock()
+
+	// 1. Commit the epoch bump to the replicated configuration log.
+	if _, err := m.log.Append(EpochBump{Epoch: newEpoch, Failed: addr}); err != nil {
+		return fmt.Errorf("cluster: config log: %w", err)
+	}
+
+	// 2. Barrier. Gatekeepers pause issuance first, so no new old-epoch
+	// traffic enters the system; shards then drain and reset; finally
+	// everyone enters the new epoch and gatekeepers resume.
+	for _, g := range gks {
+		g.server.Pause()
+	}
+	for _, s := range others {
+		s.server.EnterEpoch(newEpoch)
+	}
+	for _, g := range gks {
+		g.server.EnterEpoch(newEpoch)
+	}
+
+	// 3. Restart the failed server in the new epoch.
+	reborn := dead.restart(newEpoch)
+
+	m.mu.Lock()
+	m.epoch = newEpoch
+	dead.server = reborn
+	dead.lastBeat = time.Now()
+	m.recoveries++
+	m.mu.Unlock()
+
+	for _, g := range gks {
+		g.server.Resume()
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// fakeServer records the manager's control calls.
+type fakeServer struct {
+	mu      sync.Mutex
+	paused  int
+	resumed int
+	epochs  []uint64
+}
+
+func (f *fakeServer) Pause() {
+	f.mu.Lock()
+	f.paused++
+	f.mu.Unlock()
+}
+
+func (f *fakeServer) Resume() {
+	f.mu.Lock()
+	f.resumed++
+	f.mu.Unlock()
+}
+
+func (f *fakeServer) EnterEpoch(e uint64) {
+	f.mu.Lock()
+	f.epochs = append(f.epochs, e)
+	f.mu.Unlock()
+}
+
+func (f *fakeServer) snapshot() (int, int, []uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.paused, f.resumed, append([]uint64(nil), f.epochs...)
+}
+
+func TestRecoverRunsBarrierAndRestart(t *testing.T) {
+	f := transport.NewFabric()
+	m := New(Config{HeartbeatTimeout: time.Hour}, f.Endpoint(Addr))
+	m.Start()
+	defer m.Stop()
+
+	gk := &fakeServer{}
+	sh := &fakeServer{}
+	dead := &fakeServer{}
+	var restarted []uint64
+	var mu sync.Mutex
+	m.Register("gk/0", true, gk, func(uint64) Server { return gk })
+	m.Register("shard/0", false, sh, func(uint64) Server { return sh })
+	m.Register("shard/1", false, dead, func(e uint64) Server {
+		mu.Lock()
+		restarted = append(restarted, e)
+		mu.Unlock()
+		return &fakeServer{}
+	})
+
+	if err := m.Recover("shard/1"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch = %d", m.Epoch())
+	}
+	if m.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d", m.Recoveries())
+	}
+	p, r, e := gk.snapshot()
+	if p != 1 || r != 1 || len(e) != 1 || e[0] != 1 {
+		t.Fatalf("gatekeeper barrier calls: paused=%d resumed=%d epochs=%v", p, r, e)
+	}
+	_, _, se := sh.snapshot()
+	if len(se) != 1 || se[0] != 1 {
+		t.Fatalf("surviving shard epochs: %v", se)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(restarted) != 1 || restarted[0] != 1 {
+		t.Fatalf("restart calls: %v", restarted)
+	}
+	// The dead server itself must not have received barrier calls.
+	dp, _, de := dead.snapshot()
+	if dp != 0 || len(de) != 0 {
+		t.Fatalf("dead server touched during its own recovery: paused=%d epochs=%v", dp, de)
+	}
+}
+
+func TestRecoverUnknownMember(t *testing.T) {
+	f := transport.NewFabric()
+	m := New(Config{HeartbeatTimeout: time.Hour}, f.Endpoint(Addr))
+	m.Start()
+	defer m.Stop()
+	if err := m.Recover("nope"); err == nil {
+		t.Fatal("unknown member must error")
+	}
+}
+
+func TestHeartbeatsSuppressRecovery(t *testing.T) {
+	f := transport.NewFabric()
+	m := New(Config{HeartbeatTimeout: 50 * time.Millisecond, CheckPeriod: 10 * time.Millisecond},
+		f.Endpoint(Addr))
+	m.Start()
+	defer m.Stop()
+	srv := &fakeServer{}
+	m.Register("gk/0", true, srv, func(uint64) Server { return srv })
+
+	// Keep beating: no recovery should trigger.
+	beat := f.Endpoint("gk/0")
+	for i := 0; i < 15; i++ {
+		beat.Send(Addr, wire.Heartbeat{From: "gk/0"})
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.Recoveries() != 0 {
+		t.Fatalf("healthy server recovered %d times", m.Recoveries())
+	}
+	// Stop beating: the detector fires.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Recoveries() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent server never recovered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestEpochsMonotonicAcrossRecoveries(t *testing.T) {
+	f := transport.NewFabric()
+	m := New(Config{HeartbeatTimeout: time.Hour}, f.Endpoint(Addr))
+	m.Start()
+	defer m.Stop()
+	a, b := &fakeServer{}, &fakeServer{}
+	m.Register("shard/0", false, a, func(uint64) Server { return a })
+	m.Register("shard/1", false, b, func(uint64) Server { return b })
+	for i := 1; i <= 3; i++ {
+		if err := m.Recover("shard/0"); err != nil {
+			t.Fatal(err)
+		}
+		if m.Epoch() != uint64(i) {
+			t.Fatalf("epoch after %d recoveries = %d", i, m.Epoch())
+		}
+	}
+	_, _, eps := b.snapshot()
+	for i := 1; i < len(eps); i++ {
+		if eps[i] <= eps[i-1] {
+			t.Fatalf("epochs not monotonic: %v", eps)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package core implements refinable timestamps, the ordering primitive at
+// the heart of Weaver (Dubey et al., VLDB 2016, §3).
+//
+// A refinable timestamp is a vector timestamp issued by one gatekeeper.
+// Vector components advance monotonically per gatekeeper; gatekeepers
+// exchange their clocks every τ, so most pairs of timestamps are ordered by
+// the classic vector-clock happens-before relation. Pairs that remain
+// concurrent are "refined" on demand by the timeline oracle
+// (internal/oracle), which assigns and remembers a total order for exactly
+// the transactions that need one.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Order is the result of comparing two timestamps.
+type Order int
+
+const (
+	// Before means the receiver happens-before the argument.
+	Before Order = iota
+	// After means the argument happens-before the receiver.
+	After
+	// Concurrent means neither happens-before the other; a timeline
+	// oracle must refine the order if the transactions conflict.
+	Concurrent
+	// Equal means the two timestamps are the same timestamp.
+	Equal
+)
+
+// String returns a human-readable name for the order.
+func (o Order) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	case Equal:
+		return "equal"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Invert swaps Before and After, leaving Concurrent and Equal unchanged.
+func (o Order) Invert() Order {
+	switch o {
+	case Before:
+		return After
+	case After:
+		return Before
+	default:
+		return o
+	}
+}
+
+// Timestamp is a refinable timestamp: an epoch number, the index of the
+// issuing gatekeeper, and a vector clock with one component per gatekeeper.
+//
+// (Epoch, Owner, Clock[Owner]) uniquely identifies a timestamp: each
+// gatekeeper strictly increments its own component for every transaction it
+// stamps, and epochs advance only through the cluster manager on failure
+// (§4.3), with a barrier guaranteeing no two timestamps share an epoch
+// across a reconfiguration boundary.
+type Timestamp struct {
+	Epoch uint64
+	Owner int
+	Clock []uint64
+}
+
+// Zero reports whether t is the zero timestamp (no clock assigned).
+func (t Timestamp) Zero() bool { return len(t.Clock) == 0 }
+
+// Counter returns the owner's own component, the per-gatekeeper sequence
+// number of this timestamp.
+func (t Timestamp) Counter() uint64 {
+	if t.Owner < 0 || t.Owner >= len(t.Clock) {
+		return 0
+	}
+	return t.Clock[t.Owner]
+}
+
+// ID returns a compact unique identity for the timestamp, suitable as a map
+// key and as the event name registered with the timeline oracle.
+type ID struct {
+	Epoch   uint64
+	Owner   int32
+	Counter uint64
+}
+
+// ID returns the unique identity of t.
+func (t Timestamp) ID() ID {
+	return ID{Epoch: t.Epoch, Owner: int32(t.Owner), Counter: t.Counter()}
+}
+
+// String formats the timestamp like e0/gk1<3,4,2>.
+func (t Timestamp) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d/gk%d<", t.Epoch, t.Owner)
+	for i, c := range t.Clock {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// String formats the ID like e0.gk1.17.
+func (id ID) String() string {
+	return fmt.Sprintf("e%d.gk%d.%d", id.Epoch, id.Owner, id.Counter)
+}
+
+// Clone returns a deep copy of t. Timestamps are shared across goroutines
+// once issued, so any mutation path must work on a clone.
+func (t Timestamp) Clone() Timestamp {
+	c := make([]uint64, len(t.Clock))
+	copy(c, t.Clock)
+	return Timestamp{Epoch: t.Epoch, Owner: t.Owner, Clock: c}
+}
+
+// Compare returns the order of t relative to u.
+//
+// Epochs dominate: every timestamp of a lower epoch happens-before every
+// timestamp of a higher epoch (the cluster manager's epoch barrier
+// guarantees this is consistent with real time, §4.3). Within an epoch,
+// standard vector-clock comparison applies: t ≺ u iff t.Clock ≤ u.Clock
+// componentwise with at least one strict inequality.
+//
+// Two distinct timestamps from the same owner are always ordered by the
+// owner's component, because each gatekeeper increments its own component
+// for every issued timestamp.
+func (t Timestamp) Compare(u Timestamp) Order {
+	if t.Epoch != u.Epoch {
+		if t.Epoch < u.Epoch {
+			return Before
+		}
+		return After
+	}
+	if t.Owner == u.Owner && t.Counter() == u.Counter() {
+		return Equal
+	}
+	le, ge := true, true
+	n := len(t.Clock)
+	if len(u.Clock) > n {
+		n = len(u.Clock)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(t.Clock) {
+			a = t.Clock[i]
+		}
+		if i < len(u.Clock) {
+			b = u.Clock[i]
+		}
+		if a > b {
+			le = false
+		}
+		if a < b {
+			ge = false
+		}
+	}
+	switch {
+	case le && ge:
+		// Identical vectors but different owners: the vectors carry no
+		// ordering information, so the pair is concurrent and must be
+		// refined by the oracle.
+		return Concurrent
+	case le:
+		return Before
+	case ge:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// PointwiseMin combines timestamps into a watermark that happens-before or
+// equals every input: the lowest epoch wins outright (timestamps of a lower
+// epoch precede all of a higher epoch), and within that epoch the clock is
+// the componentwise minimum over the inputs sharing it. Weaver's garbage
+// collector uses this to combine per-gatekeeper "oldest ongoing operation"
+// reports into a global prune point (§4.5).
+func PointwiseMin(ts ...Timestamp) Timestamp {
+	if len(ts) == 0 {
+		return Timestamp{}
+	}
+	minEpoch := ts[0].Epoch
+	for _, t := range ts[1:] {
+		if t.Epoch < minEpoch {
+			minEpoch = t.Epoch
+		}
+	}
+	var out Timestamp
+	out.Epoch = minEpoch
+	for _, t := range ts {
+		if t.Epoch != minEpoch {
+			continue
+		}
+		if out.Clock == nil {
+			out.Clock = append([]uint64(nil), t.Clock...)
+			out.Owner = t.Owner
+			continue
+		}
+		for i := range out.Clock {
+			if i < len(t.Clock) && t.Clock[i] < out.Clock[i] {
+				out.Clock[i] = t.Clock[i]
+			}
+		}
+	}
+	return out
+}
+
+// Before reports whether t happens-before u.
+func (t Timestamp) Before(u Timestamp) bool { return t.Compare(u) == Before }
+
+// Concurrent reports whether t and u are concurrent.
+func (t Timestamp) Concurrent(u Timestamp) bool { return t.Compare(u) == Concurrent }
+
+// Equals reports whether t and u are the same timestamp.
+func (t Timestamp) Equals(u Timestamp) bool { return t.Compare(u) == Equal }

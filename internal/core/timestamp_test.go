@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ts(epoch uint64, owner int, clock ...uint64) Timestamp {
+	return Timestamp{Epoch: epoch, Owner: owner, Clock: clock}
+}
+
+func TestCompareBasic(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		want Order
+	}{
+		{ts(0, 0, 1, 1, 0), ts(0, 1, 3, 4, 2), Before},     // paper Fig 5: T1 ≺ T2
+		{ts(0, 2, 0, 1, 3), ts(0, 2, 3, 1, 5), Before},     // T3 ≺ T4
+		{ts(0, 1, 3, 4, 2), ts(0, 2, 3, 1, 5), Concurrent}, // T2 ≈ T4
+		{ts(0, 0, 1, 0, 0), ts(0, 0, 1, 0, 0), Equal},      // identity
+		{ts(0, 0, 2, 0, 0), ts(0, 0, 1, 0, 0), After},      // same owner ordered by counter
+		{ts(0, 0, 1, 2), ts(0, 1, 1, 2), Concurrent},       // equal vectors, distinct owners
+		{ts(0, 0, 9, 9), ts(1, 1, 0, 0), Before},           // epoch dominates
+		{ts(2, 0, 0, 0), ts(1, 1, 7, 7), After},            // epoch dominates reversed
+		{ts(0, 0, 1), ts(0, 1, 1, 2), Before},              // ragged vectors
+		{ts(0, 1, 0, 5, 0), ts(0, 0, 4, 0, 0), Concurrent}, // cross dominance
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: %v vs %v: got %v want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != c.want.Invert() {
+			t.Errorf("case %d reversed: %v vs %v: got %v want %v", i, c.b, c.a, got, c.want.Invert())
+		}
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	for o, want := range map[Order]string{Before: "before", After: "after", Concurrent: "concurrent", Equal: "equal", Order(42): "Order(42)"} {
+		if o.String() != want {
+			t.Errorf("Order(%d).String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestTimestampStringAndID(t *testing.T) {
+	a := ts(1, 2, 3, 4, 5)
+	if got, want := a.String(), "e1/gk2<3,4,5>"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := a.ID().String(), "e1.gk2.5"; got != want {
+		t.Errorf("ID = %q, want %q", got, want)
+	}
+	if a.ID() != (ID{Epoch: 1, Owner: 2, Counter: 5}) {
+		t.Errorf("unexpected ID struct %+v", a.ID())
+	}
+}
+
+func TestZeroAndCounter(t *testing.T) {
+	var z Timestamp
+	if !z.Zero() {
+		t.Error("zero timestamp should report Zero")
+	}
+	if z.Counter() != 0 {
+		t.Error("zero timestamp counter should be 0")
+	}
+	a := ts(0, 1, 7, 9)
+	if a.Zero() {
+		t.Error("non-zero timestamp should not report Zero")
+	}
+	if a.Counter() != 9 {
+		t.Errorf("Counter = %d, want 9", a.Counter())
+	}
+	bad := Timestamp{Owner: 5, Clock: []uint64{1}}
+	if bad.Counter() != 0 {
+		t.Error("out-of-range owner should yield counter 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := ts(0, 0, 1, 2, 3)
+	b := a.Clone()
+	b.Clock[0] = 99
+	if a.Clock[0] != 1 {
+		t.Error("Clone must not share clock storage")
+	}
+	if !a.Equals(a.Clone()) {
+		t.Error("clone must compare Equal to original")
+	}
+}
+
+func TestVectorClockTickMonotonic(t *testing.T) {
+	v := NewVectorClock(1, 3, 0)
+	prev := v.Tick()
+	for i := 0; i < 100; i++ {
+		cur := v.Tick()
+		if !prev.Before(cur) {
+			t.Fatalf("tick %d not after predecessor: %v vs %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestVectorClockObserve(t *testing.T) {
+	a := NewVectorClock(0, 3, 0)
+	b := NewVectorClock(1, 3, 0)
+	t1 := a.Tick() // a = <1,0,0>
+	b.Observe(a.Peek())
+	t2 := b.Tick() // b = <1,1,0>
+	if !t1.Before(t2) {
+		t.Fatalf("announce should order %v before %v", t1, t2)
+	}
+	// Observe must never regress components nor touch the owner's own.
+	b.Observe(Timestamp{Epoch: 0, Owner: 0, Clock: []uint64{0, 99, 0}})
+	t3 := b.Tick()
+	if t3.Clock[1] != 2 {
+		t.Fatalf("owner component hijacked: %v", t3)
+	}
+	if t3.Clock[0] != 1 {
+		t.Fatalf("component regressed: %v", t3)
+	}
+}
+
+func TestVectorClockObserveWrongEpoch(t *testing.T) {
+	v := NewVectorClock(0, 2, 1)
+	v.Observe(Timestamp{Epoch: 0, Owner: 1, Clock: []uint64{0, 50}})
+	if got := v.Peek(); got.Clock[1] != 0 {
+		t.Fatalf("stale-epoch announce must be ignored, got %v", got)
+	}
+	v.Observe(Timestamp{Epoch: 2, Owner: 1, Clock: []uint64{0, 50}})
+	if got := v.Peek(); got.Clock[1] != 0 {
+		t.Fatalf("future-epoch announce must be ignored, got %v", got)
+	}
+}
+
+func TestAdvanceEpoch(t *testing.T) {
+	v := NewVectorClock(0, 2, 0)
+	old := v.Tick()
+	v.AdvanceEpoch(1)
+	fresh := v.Tick()
+	if !old.Before(fresh) {
+		t.Fatalf("old epoch timestamp %v must precede new epoch %v", old, fresh)
+	}
+	if fresh.Counter() != 1 {
+		t.Fatalf("clock must restart in new epoch, got %v", fresh)
+	}
+	v.AdvanceEpoch(1) // no-op
+	v.AdvanceEpoch(0) // no-op
+	if v.Epoch() != 1 {
+		t.Fatalf("epoch must not regress, got %d", v.Epoch())
+	}
+}
+
+func TestNewVectorClockPanicsOnBadOwner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range owner")
+		}
+	}()
+	NewVectorClock(3, 3, 0)
+}
+
+// randTS generates structured random timestamps over a small domain so that
+// the three-way comparisons below actually hit Before/After/Equal cases.
+func randTS(r *rand.Rand) Timestamp {
+	n := 3
+	c := make([]uint64, n)
+	for i := range c {
+		c[i] = uint64(r.Intn(3))
+	}
+	return Timestamp{Epoch: uint64(r.Intn(2)), Owner: r.Intn(n), Clock: c}
+}
+
+// protocolValid rejects timestamp sets a real deployment cannot produce: two
+// distinct timestamps sharing (epoch, owner, counter). Gatekeepers increment
+// their own component on every tick, so that triple is a unique identity and
+// Compare may legitimately report Equal for it.
+func protocolValid(ts ...Timestamp) bool {
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			if ts[i].ID() != ts[j].ID() {
+				continue
+			}
+			a, b := ts[i].Clock, ts[j].Clock
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randTS(r))
+			vals[1] = reflect.ValueOf(randTS(r))
+		},
+	}
+	prop := func(a, b Timestamp) bool {
+		if !protocolValid(a, b) {
+			return true
+		}
+		return a.Compare(b) == b.Compare(a).Invert()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randTS(r))
+			vals[1] = reflect.ValueOf(randTS(r))
+			vals[2] = reflect.ValueOf(randTS(r))
+		},
+	}
+	prop := func(a, b, c Timestamp) bool {
+		if !protocolValid(a, b, c) {
+			return true
+		}
+		if a.Compare(b) == Before && b.Compare(c) == Before {
+			return a.Compare(c) == Before
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualMeansSameID(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randTS(r))
+			vals[1] = reflect.ValueOf(randTS(r))
+		},
+	}
+	prop := func(a, b Timestamp) bool {
+		if a.Compare(b) == Equal {
+			return a.ID() == b.ID()
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Timestamps issued by live clocks with gossip must always satisfy: two
+// timestamps from the same owner are totally ordered, and observing a
+// timestamp then ticking produces a later timestamp.
+func TestQuickLiveClockCausality(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n = 4
+	clocks := make([]*VectorClock, n)
+	for i := range clocks {
+		clocks[i] = NewVectorClock(i, n, 0)
+	}
+	var issued []Timestamp
+	for step := 0; step < 20000; step++ {
+		g := r.Intn(n)
+		switch r.Intn(3) {
+		case 0: // tick
+			cur := clocks[g].Tick()
+			for _, prev := range issued {
+				if prev.Owner == g && !prev.Before(cur) {
+					t.Fatalf("same-owner order violated: %v !< %v", prev, cur)
+				}
+			}
+			if len(issued) < 64 {
+				issued = append(issued, cur)
+			} else {
+				issued[r.Intn(len(issued))] = cur
+			}
+		case 1: // announce g -> h
+			h := r.Intn(n)
+			announced := clocks[g].Peek()
+			clocks[h].Observe(announced)
+			after := clocks[h].Tick()
+			if cmp := announced.Compare(after); cmp != Before {
+				t.Fatalf("observe-then-tick must order: %v vs %v = %v", announced, after, cmp)
+			}
+		case 2: // cross-check a random issued pair for antisymmetry
+			if len(issued) >= 2 {
+				a, b := issued[r.Intn(len(issued))], issued[r.Intn(len(issued))]
+				if a.Compare(b) != b.Compare(a).Invert() {
+					t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+				}
+			}
+		}
+	}
+}

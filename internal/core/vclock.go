@@ -1,0 +1,82 @@
+package core
+
+// VectorClock is the mutable clock a gatekeeper maintains (§3.3). It is not
+// safe for concurrent use; the gatekeeper event loop owns it.
+//
+// Component i holds the highest counter value this gatekeeper has observed
+// from gatekeeper i, either through a direct announce message or through
+// piggybacked clocks. The owner's own component counts transactions stamped
+// locally and only the owner advances it.
+type VectorClock struct {
+	epoch uint64
+	owner int
+	clock []uint64
+}
+
+// NewVectorClock returns a fresh clock for gatekeeper owner in a cluster of
+// n gatekeepers, starting at the given epoch with all components zero.
+func NewVectorClock(owner, n int, epoch uint64) *VectorClock {
+	if owner < 0 || owner >= n {
+		panic("core: vector clock owner out of range")
+	}
+	return &VectorClock{epoch: epoch, owner: owner, clock: make([]uint64, n)}
+}
+
+// Owner returns the owning gatekeeper's index.
+func (v *VectorClock) Owner() int { return v.owner }
+
+// Epoch returns the clock's current epoch.
+func (v *VectorClock) Epoch() uint64 { return v.epoch }
+
+// N returns the number of gatekeeper components.
+func (v *VectorClock) N() int { return len(v.clock) }
+
+// Tick increments the owner's component and returns a timestamp snapshot,
+// stamping one transaction. The returned timestamp owns its own storage.
+func (v *VectorClock) Tick() Timestamp {
+	v.clock[v.owner]++
+	return v.snapshot()
+}
+
+// Peek returns the clock's current value without advancing it. Used for
+// announce messages, which carry the sender's view but do not stamp a
+// transaction.
+func (v *VectorClock) Peek() Timestamp { return v.snapshot() }
+
+func (v *VectorClock) snapshot() Timestamp {
+	c := make([]uint64, len(v.clock))
+	copy(c, v.clock)
+	return Timestamp{Epoch: v.epoch, Owner: v.owner, Clock: c}
+}
+
+// Observe merges a timestamp received from another gatekeeper (an announce,
+// or a clock piggybacked on any message) into the local view. Announces
+// from older epochs are ignored; an announce from a newer epoch is a
+// protocol error (epochs advance only through AdvanceEpoch under the
+// cluster manager's barrier) and is also ignored here.
+func (v *VectorClock) Observe(t Timestamp) {
+	if t.Epoch != v.epoch {
+		return
+	}
+	for i := 0; i < len(v.clock) && i < len(t.Clock); i++ {
+		if i == v.owner {
+			continue // only the owner advances its own component
+		}
+		if t.Clock[i] > v.clock[i] {
+			v.clock[i] = t.Clock[i]
+		}
+	}
+}
+
+// AdvanceEpoch moves the clock into a new, higher epoch and restarts every
+// component at zero (§4.3: a backup gatekeeper restarts the failed clock;
+// the epoch field keeps new timestamps after all old ones).
+func (v *VectorClock) AdvanceEpoch(epoch uint64) {
+	if epoch <= v.epoch {
+		return
+	}
+	v.epoch = epoch
+	for i := range v.clock {
+		v.clock[i] = 0
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"weaver"
+	"weaver/internal/baseline/blockexplorer"
+	"weaver/internal/bench"
+	"weaver/internal/workload"
+)
+
+// Fig7Row is one point of Fig 7: average block-query latency at a block
+// height, CoinGraph (Weaver) vs the relational Blockchain.info stand-in,
+// plus the per-transaction marginal cost the paper highlights (§6.1:
+// "CoinGraph takes about 0.6-0.8ms per transaction per block, whereas
+// Blockchain.info takes 5-8ms").
+type Fig7Row struct {
+	Height    int
+	Txs       int
+	CoinGraph time.Duration
+	BCInfo    time.Duration
+	CGPerTx   time.Duration
+	BCPerTx   time.Duration
+}
+
+// Fig7Result is the full figure.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// String renders the figure as a table.
+func (r Fig7Result) String() string {
+	t := bench.NewTable("block", "txs", "CoinGraph", "BC.info", "CG/tx", "BC/tx", "speedup")
+	for _, row := range r.Rows {
+		sp := 0.0
+		if row.CoinGraph > 0 {
+			sp = float64(row.BCInfo) / float64(row.CoinGraph)
+		}
+		t.Row(row.Height, row.Txs, row.CoinGraph, row.BCInfo, row.CGPerTx, row.BCPerTx, sp)
+	}
+	return "Fig 7: Bitcoin block query latency (avg)\n" + t.String()
+}
+
+// Fig7 measures single block-query latency across block heights on both
+// systems, averaging over `runs` queries per height (the paper averages
+// over 20 runs).
+func Fig7(o Options) (Fig7Result, error) {
+	bc := workload.NewBlockchain(o.Blocks, o.Seed)
+	c, err := o.OpenWeaver(o.Gatekeepers, o.Shards)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	defer c.Close()
+	if err := LoadBlockchainWeaver(c, bc); err != nil {
+		return Fig7Result{}, err
+	}
+	ex := blockexplorer.New()
+	ex.WANDelay = o.BCInfoWAN
+	ex.RowCost = o.BCInfoRowCost
+	ex.Load(bc)
+
+	cl := c.Client()
+	const runs = 10
+	heights := []int{}
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.85, 0.99} {
+		heights = append(heights, int(frac*float64(o.Blocks)))
+	}
+	var res Fig7Result
+	for _, h := range heights {
+		txs := bc.TxsInBlock(h)
+		var cg, bi time.Duration
+		for i := 0; i < runs; i++ {
+			t0 := time.Now()
+			out, _, err := cl.RunProgram("block_render", nil, workload.BlockID(h))
+			if err != nil {
+				return res, fmt.Errorf("coingraph block %d: %w", h, err)
+			}
+			cg += time.Since(t0)
+			if len(out) != txs {
+				return res, fmt.Errorf("coingraph block %d rendered %d txs, want %d", h, len(out), txs)
+			}
+			t0 = time.Now()
+			if _, err := ex.RenderBlock(h); err != nil {
+				return res, fmt.Errorf("bc.info block %d: %w", h, err)
+			}
+			bi += time.Since(t0)
+		}
+		cg /= runs
+		bi /= runs
+		row := Fig7Row{Height: h, Txs: txs, CoinGraph: cg, BCInfo: bi}
+		if txs > 0 {
+			row.CGPerTx = cg / time.Duration(txs)
+			row.BCPerTx = bi / time.Duration(txs)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig8Row is one point of Fig 8: block-render throughput over a window of
+// block heights, in queries/s and vertices read/s.
+type Fig8Row struct {
+	HeightLo   int
+	QueriesSec float64
+	NodesSec   float64
+}
+
+// Fig8Result is the full figure.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// String renders the figure.
+func (r Fig8Result) String() string {
+	t := bench.NewTable("block-range", "queries/s", "nodes-read/s")
+	for _, row := range r.Rows {
+		t.Row(fmt.Sprintf("%d+", row.HeightLo), row.QueriesSec, row.NodesSec)
+	}
+	return "Fig 8: CoinGraph block render throughput (decreases with block size)\n" + t.String()
+}
+
+// Fig8 measures CoinGraph block-render throughput as a function of block
+// height: concurrent clients render random blocks within a height window;
+// later windows hold bigger blocks, so queries/s falls while nodes-read/s
+// stays high (§6.1, Fig 8).
+func Fig8(o Options) (Fig8Result, error) {
+	bc := workload.NewBlockchain(o.Blocks, o.Seed)
+	c, err := o.OpenWeaver(o.Gatekeepers, o.Shards)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	defer c.Close()
+	if err := LoadBlockchainWeaver(c, bc); err != nil {
+		return Fig8Result{}, err
+	}
+
+	window := o.Blocks / 4
+	var res Fig8Result
+	for _, lo := range []int{0, o.Blocks / 4, o.Blocks / 2, 3 * o.Blocks / 4} {
+		clients := make([]*weaver.Client, o.Clients)
+		for i := range clients {
+			clients[i] = c.Client()
+		}
+		var nodesRead int64
+		var mu syncCounter
+		qps, _, errs := bench.Throughput(o.Clients, o.Duration, func(ci, iter int) error {
+			h := lo + (iter*2654435761+ci*97)%window
+			out, _, err := clients[ci].RunProgram("block_render", nil, workload.BlockID(h))
+			if err != nil {
+				return err
+			}
+			// Vertices read = block vertex + its transactions.
+			mu.add(int64(1 + len(out)))
+			return nil
+		})
+		if errs > 0 {
+			return res, fmt.Errorf("fig8: %d query errors in window %d", errs, lo)
+		}
+		nodesRead = mu.value()
+		res.Rows = append(res.Rows, Fig8Row{
+			HeightLo:   lo,
+			QueriesSec: qps,
+			NodesSec:   float64(nodesRead) / o.Duration.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// syncCounter is a tiny thread-safe accumulator.
+type syncCounter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *syncCounter) add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *syncCounter) value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

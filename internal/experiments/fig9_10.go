@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weaver"
+	"weaver/internal/baseline/titan"
+	"weaver/internal/bench"
+	"weaver/internal/workload"
+)
+
+// Fig9Row is one bar of Fig 9: a system's transaction throughput on a
+// read/write mix over the social graph.
+type Fig9Row struct {
+	System     string
+	Mix        string
+	Clients    int
+	Throughput float64
+	// ReactiveFraction is the share of operations that needed the
+	// timeline oracle (reported in the Fig 9 caption: 0.0013% on the
+	// TAO mix, 1.7% on the 75%-read mix). Zero for Titan.
+	ReactiveFraction float64
+}
+
+// Fig9Result holds both bars of one subfigure.
+type Fig9Result struct {
+	Title string
+	Rows  []Fig9Row
+}
+
+// String renders the subfigure.
+func (r Fig9Result) String() string {
+	t := bench.NewTable("system", "mix", "clients", "tx/s", "reactive%")
+	for _, row := range r.Rows {
+		t.Row(row.System, row.Mix, row.Clients, row.Throughput, row.ReactiveFraction*100)
+	}
+	return r.Title + "\n" + t.String()
+}
+
+// Fig10Result is the latency CDF experiment: per-system, per-mix latency
+// distributions over the same workloads (Fig 10).
+type Fig10Result struct {
+	Series map[string]*bench.Latencies
+}
+
+// String renders percentile rows per series.
+func (r Fig10Result) String() string {
+	t := bench.NewTable("series", "p10", "p50", "p90", "p99", "mean")
+	for _, name := range []string{
+		"Weaver: 99.8% reads", "Weaver: 75% reads",
+		"Titan: 99.8% reads", "Titan: 75% reads",
+	} {
+		l, ok := r.Series[name]
+		if !ok {
+			continue
+		}
+		t.Row(name, l.Percentile(10), l.Percentile(50), l.Percentile(90), l.Percentile(99), l.Mean())
+	}
+	return "Fig 10: transaction latency CDF (percentiles)\n" + t.String()
+}
+
+// socialOps drives one TAO-mix operation against Weaver.
+func weaverTAOOp(cl *weaver.Client, g *workload.Graph, mix workload.Mix, r *rand.Rand) error {
+	v := g.Vertices[r.Intn(len(g.Vertices))]
+	switch mix.Sample(r) {
+	case workload.OpGetEdges:
+		_, _, err := cl.RunProgram("get_edges", nil, v)
+		return err
+	case workload.OpCountEdges:
+		_, _, err := cl.RunProgram("count_edges", nil, v)
+		return err
+	case workload.OpGetNode:
+		_, _, err := cl.RunProgram("get_node", nil, v)
+		return err
+	case workload.OpCreateEdge:
+		to := g.Vertices[r.Intn(len(g.Vertices))]
+		_, err := cl.RunTx(func(tx *weaver.Tx) error {
+			tx.CreateEdge(v, to)
+			return nil
+		})
+		return err
+	case workload.OpDeleteEdge:
+		// Read an edge to delete, then delete it transactionally;
+		// racing deletions are expected and not errors.
+		d, ok, err := cl.GetVertex(v)
+		if err != nil || !ok || len(d.Edges) == 0 {
+			return err
+		}
+		e := d.Edges[r.Intn(len(d.Edges))].ID
+		tx := cl.Begin()
+		tx.DeleteEdge(v, e)
+		_, err = tx.Commit()
+		if err != nil {
+			return nil // lost a race; TAO semantics tolerate this
+		}
+		return nil
+	}
+	return nil
+}
+
+// titanTAOOp drives one TAO-mix operation against the Titan baseline.
+func titanTAOOp(s *titan.Store, g *workload.Graph, mix workload.Mix, r *rand.Rand) error {
+	v := g.Vertices[r.Intn(len(g.Vertices))]
+	switch mix.Sample(r) {
+	case workload.OpGetEdges:
+		tx := s.Begin(v)
+		tx.GetEdges(v)
+		tx.Commit()
+	case workload.OpCountEdges:
+		tx := s.Begin(v)
+		tx.CountEdges(v)
+		tx.Commit()
+	case workload.OpGetNode:
+		tx := s.Begin(v)
+		tx.GetNode(v)
+		tx.Commit()
+	case workload.OpCreateEdge:
+		to := g.Vertices[r.Intn(len(g.Vertices))]
+		tx := s.Begin(v, to)
+		if err := tx.CreateEdge(v, to); err != nil {
+			tx.Commit()
+			return err
+		}
+		tx.Commit()
+	case workload.OpDeleteEdge:
+		tx := s.Begin(v)
+		edges, ok := tx.GetEdges(v)
+		if ok && len(edges) > 0 {
+			tx.DeleteEdge(v, edges[r.Intn(len(edges))])
+		}
+		tx.Commit()
+	}
+	return nil
+}
+
+// runMix measures one (system, mix) cell and optionally records latencies.
+func runMix(o Options, readFrac float64, mixName string) (weaverRow, titanRow Fig9Row, wLat, tLat *bench.Latencies, err error) {
+	g := workload.Social(o.SocialV, o.SocialM, o.Seed)
+	var mix workload.Mix
+	if readFrac >= 0.998 {
+		mix = workload.TAOMix()
+	} else {
+		mix = workload.ReadMix(readFrac)
+	}
+
+	// Weaver.
+	c, err := o.OpenWeaver(o.Gatekeepers, o.Shards)
+	if err != nil {
+		return
+	}
+	if err = LoadSocialWeaver(c, g); err != nil {
+		c.Close()
+		return
+	}
+	before := c.Stats()
+	clients := make([]*weaver.Client, o.Clients)
+	rngs := make([]*rand.Rand, o.Clients)
+	for i := range clients {
+		clients[i] = c.Client()
+		rngs[i] = rand.New(rand.NewSource(o.Seed + int64(i)))
+	}
+	var wQps float64
+	var errCount int
+	wQps, wLat, errCount = bench.Throughput(o.Clients, o.Duration, func(ci, _ int) error {
+		return weaverTAOOp(clients[ci], g, mix, rngs[ci])
+	})
+	after := c.Stats()
+	c.Close()
+	if errCount > 0 {
+		err = fmt.Errorf("weaver %s mix: %d op errors", mixName, errCount)
+		return
+	}
+	ops := float64(wQps * o.Duration.Seconds())
+	reactive := 0.0
+	if ops > 0 {
+		reactive = float64(after.TotalOracleMessages()-before.TotalOracleMessages()) / ops
+	}
+	weaverRow = Fig9Row{System: "Weaver", Mix: mixName, Clients: o.Clients, Throughput: wQps, ReactiveFraction: reactive}
+
+	// Titan baseline.
+	ts := titan.New(o.Titan)
+	LoadSocialTitan(ts, g)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(o.Seed + int64(i)))
+	}
+	var tQps float64
+	tQps, tLat, _ = bench.Throughput(o.Clients, o.Duration, func(ci, _ int) error {
+		return titanTAOOp(ts, g, mix, rngs[ci])
+	})
+	titanRow = Fig9Row{System: "Titan", Mix: mixName, Clients: o.Clients, Throughput: tQps}
+	return
+}
+
+// Fig9a runs the TAO-mix throughput comparison (§6.2: Weaver outperforms
+// Titan by 10.9×).
+func Fig9a(o Options) (Fig9Result, error) {
+	w, t, _, _, err := runMix(o, 0.998, "TAO 99.8% read")
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	return Fig9Result{Title: "Fig 9a: social network workload throughput", Rows: []Fig9Row{w, t}}, nil
+}
+
+// Fig9b runs the 75%-read comparison (§6.2: Weaver outperforms by 1.5×).
+func Fig9b(o Options) (Fig9Result, error) {
+	w, t, _, _, err := runMix(o, 0.75, "75% read")
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	return Fig9Result{Title: "Fig 9b: 75% read workload throughput", Rows: []Fig9Row{w, t}}, nil
+}
+
+// Fig10 collects the latency distributions behind Fig 9's runs.
+func Fig10(o Options) (Fig10Result, error) {
+	res := Fig10Result{Series: map[string]*bench.Latencies{}}
+	_, _, wl, tl, err := runMix(o, 0.998, "TAO")
+	if err != nil {
+		return res, err
+	}
+	res.Series["Weaver: 99.8% reads"] = wl
+	res.Series["Titan: 99.8% reads"] = tl
+	_, _, wl75, tl75, err := runMix(o, 0.75, "75%")
+	if err != nil {
+		return res, err
+	}
+	res.Series["Weaver: 75% reads"] = wl75
+	res.Series["Titan: 75% reads"] = tl75
+	return res, nil
+}

@@ -1,0 +1,405 @@
+// Package gatekeeper implements Weaver's gatekeeper servers (§3.3, §4.2),
+// the proactive half of refinable timestamps. A gatekeeper:
+//
+//   - stamps every transaction and node program with a vector timestamp
+//     from its local clock, with no cross-server coordination;
+//   - announces its clock to the other gatekeepers every τ, establishing
+//     the happens-before partial order that resolves most transaction
+//     pairs without the timeline oracle;
+//   - executes read-write transactions against the transactional backing
+//     store, enforcing that timestamp order agrees with backing-store
+//     commit order on conflicting vertices (the per-vertex last-update
+//     timestamp check of §4.2, registering refined orders with the oracle
+//     for concurrent pairs);
+//   - forwards committed write-sets to the involved shards over FIFO
+//     (sequence-numbered) channels, and emits periodic NOPs so every shard
+//     queue stays non-empty (§4.2);
+//   - coordinates node programs: tracks outstanding hops, gathers results,
+//     and triggers program-state garbage collection on completion (§4.5).
+package gatekeeper
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/kvstore"
+	"weaver/internal/oracle"
+	"weaver/internal/partition"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// ErrConflict is returned by CommitTx when the backing store detected a
+// conflicting concurrent transaction; the client should re-run the whole
+// transaction (fresh reads, fresh commit).
+var ErrConflict = errors.New("gatekeeper: transaction conflict, retry")
+
+// ErrInvalid wraps semantic transaction failures (e.g. deleting an already
+// deleted vertex), which abort on the backing store (§4.2).
+var ErrInvalid = errors.New("gatekeeper: invalid transaction")
+
+// ErrStopped is returned after Stop.
+var ErrStopped = errors.New("gatekeeper: stopped")
+
+// ReadCheck records one client read for commit-time validation: the
+// backing-store key and the version the client observed.
+type ReadCheck struct {
+	Key     string
+	Version uint64
+}
+
+// VertexKey is the backing-store key of a vertex record.
+func VertexKey(v graph.VertexID) string { return "v/" + string(v) }
+
+// EncodeRecord gob-encodes a vertex record for the backing store.
+func EncodeRecord(rec *graph.VertexRecord) []byte { return graph.EncodeRecord(rec) }
+
+// DecodeRecord decodes a vertex record.
+func DecodeRecord(data []byte) (*graph.VertexRecord, error) { return graph.DecodeRecord(data) }
+
+// Config parameterizes a gatekeeper.
+type Config struct {
+	// ID is this gatekeeper's index in [0, NumGatekeepers).
+	ID int
+	// NumGatekeepers sets the vector clock width.
+	NumGatekeepers int
+	// NumShards sets the shard fan-out for NOPs.
+	NumShards int
+	// Epoch is the starting epoch (bumped by the cluster manager, §4.3).
+	Epoch uint64
+	// AnnouncePeriod is τ, the vector clock exchange period (§3.3).
+	AnnouncePeriod time.Duration
+	// NopPeriod bounds node-program delay under light load (§4.2).
+	NopPeriod time.Duration
+	// GCPeriod is how often GC watermarks are broadcast; 0 disables GC
+	// (retain full multi-version history, §4.5).
+	GCPeriod time.Duration
+	// ProgTimeout bounds node-program completion waits. 0 = 30s.
+	ProgTimeout time.Duration
+	// MaxCommitRetries bounds internal timestamp-order retries. 0 = 16.
+	MaxCommitRetries int
+	// HeartbeatPeriod, when positive, sends liveness beats to the
+	// cluster manager (§4.3).
+	HeartbeatPeriod time.Duration
+	// ManagerAddr receives heartbeats (default "climgr").
+	ManagerAddr transport.Addr
+}
+
+func (c Config) withDefaults() Config {
+	if c.ManagerAddr == "" {
+		c.ManagerAddr = "climgr"
+	}
+	if c.AnnouncePeriod <= 0 {
+		c.AnnouncePeriod = time.Millisecond
+	}
+	if c.NopPeriod <= 0 {
+		c.NopPeriod = 500 * time.Microsecond
+	}
+	if c.ProgTimeout <= 0 {
+		c.ProgTimeout = 30 * time.Second
+	}
+	if c.MaxCommitRetries <= 0 {
+		c.MaxCommitRetries = 16
+	}
+	return c
+}
+
+// Stats counts gatekeeper activity; Announces and Nops feed the Fig 14
+// coordination-overhead experiment.
+type Stats struct {
+	TxCommitted   uint64
+	TxConflicts   uint64
+	TxInvalid     uint64
+	TxRetries     uint64
+	Announces     uint64
+	Nops          uint64
+	ProgsStarted  uint64
+	ProgsFinished uint64
+	OracleAssigns uint64
+}
+
+// coordinatorHopBit marks hop IDs minted by a gatekeeper coordinator, so
+// they never collide with shard-minted IDs (which carry the shard index in
+// the high bits).
+const coordinatorHopBit = uint64(1) << 63
+
+type progPending struct {
+	ts      core.Timestamp
+	pending map[uint64]struct{} // spawned hops not yet consumed
+	early   map[uint64]struct{} // consumptions seen before their spawn
+	results [][]byte
+	err     error
+	done    chan struct{}
+	shards  map[int]struct{} // shards that received work (for ProgFinish)
+}
+
+// Gatekeeper is one timeline-coordinator front-end server.
+type Gatekeeper struct {
+	cfg Config
+	ep  transport.Endpoint
+	kv  kvstore.Backing
+	orc oracle.Client
+	dir partition.Directory
+
+	mu     sync.Mutex
+	clock  *core.VectorClock
+	seq    *transport.Sequencer
+	progs  map[core.ID]*progPending
+	gcSeen map[int]core.Timestamp
+
+	// pause gates operation intake across epoch barriers (§4.3): the
+	// cluster manager write-locks it while reconfiguring.
+	pause sync.RWMutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	hopSeq atomic.Uint64
+
+	txCommitted   atomic.Uint64
+	txConflicts   atomic.Uint64
+	txInvalid     atomic.Uint64
+	txRetries     atomic.Uint64
+	announces     atomic.Uint64
+	nops          atomic.Uint64
+	progsStarted  atomic.Uint64
+	progsFinished atomic.Uint64
+	oracleAssigns atomic.Uint64
+}
+
+// New wires a gatekeeper to its endpoint, backing store, oracle, and
+// directory. Call Start to launch its background loops.
+func New(cfg Config, ep transport.Endpoint, kv kvstore.Backing, orc oracle.Client, dir partition.Directory) *Gatekeeper {
+	cfg = cfg.withDefaults()
+	return &Gatekeeper{
+		cfg:   cfg,
+		ep:    ep,
+		kv:    kv,
+		orc:   orc,
+		dir:   dir,
+		clock: core.NewVectorClock(cfg.ID, cfg.NumGatekeepers, cfg.Epoch),
+		seq:   transport.NewSequencer(),
+		progs: make(map[core.ID]*progPending),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Start launches the receive, announce, NOP, and GC loops.
+func (g *Gatekeeper) Start() {
+	g.wg.Add(1)
+	go g.recvLoop()
+	g.wg.Add(1)
+	go g.tickerLoop(g.cfg.AnnouncePeriod, g.announce)
+	g.wg.Add(1)
+	go g.tickerLoop(g.cfg.NopPeriod, g.sendNops)
+	if g.cfg.GCPeriod > 0 {
+		g.wg.Add(1)
+		go g.tickerLoop(g.cfg.GCPeriod, g.sendGCReport)
+	}
+	if g.cfg.HeartbeatPeriod > 0 {
+		g.wg.Add(1)
+		go g.tickerLoop(g.cfg.HeartbeatPeriod, g.heartbeat)
+	}
+}
+
+// heartbeat signals liveness to the cluster manager.
+func (g *Gatekeeper) heartbeat() {
+	g.ep.Send(g.cfg.ManagerAddr, wire.Heartbeat{From: g.ep.Addr()})
+}
+
+// Pause blocks new transactions and node programs until Resume; the
+// cluster manager brackets epoch barriers with Pause/Resume (§4.3).
+func (g *Gatekeeper) Pause() { g.pause.Lock() }
+
+// Resume reverses Pause.
+func (g *Gatekeeper) Resume() { g.pause.Unlock() }
+
+// EnterEpoch implements the cluster manager barrier: the clock restarts at
+// zero in the new epoch and FIFO sequence numbering resets (§4.3).
+func (g *Gatekeeper) EnterEpoch(epoch uint64) { g.AdvanceEpoch(epoch) }
+
+// Stop terminates the background loops and fails outstanding programs.
+func (g *Gatekeeper) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+	g.mu.Lock()
+	for _, p := range g.progs {
+		p.err = ErrStopped
+		close(p.done)
+	}
+	g.progs = make(map[core.ID]*progPending)
+	g.mu.Unlock()
+}
+
+// Stats returns a snapshot of activity counters.
+func (g *Gatekeeper) Stats() Stats {
+	return Stats{
+		TxCommitted:   g.txCommitted.Load(),
+		TxConflicts:   g.txConflicts.Load(),
+		TxInvalid:     g.txInvalid.Load(),
+		TxRetries:     g.txRetries.Load(),
+		Announces:     g.announces.Load(),
+		Nops:          g.nops.Load(),
+		ProgsStarted:  g.progsStarted.Load(),
+		ProgsFinished: g.progsFinished.Load(),
+		OracleAssigns: g.oracleAssigns.Load(),
+	}
+}
+
+// ID returns the gatekeeper index.
+func (g *Gatekeeper) ID() int { return g.cfg.ID }
+
+// Now returns the clock's current value without advancing it.
+func (g *Gatekeeper) Now() core.Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.clock.Peek()
+}
+
+// Snapshot ticks the clock and returns the fresh timestamp: a handle
+// strictly after every transaction committed through this gatekeeper,
+// usable for historical reads (§4.5).
+func (g *Gatekeeper) Snapshot() core.Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.clock.Tick()
+}
+
+// AdvanceEpoch moves the clock into a new epoch (cluster manager barrier,
+// §4.3) and resets FIFO sequence numbering toward the shards.
+func (g *Gatekeeper) AdvanceEpoch(epoch uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.clock.AdvanceEpoch(epoch)
+	g.seq.Reset()
+}
+
+func (g *Gatekeeper) tickerLoop(period time.Duration, fn func()) {
+	defer g.wg.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+func (g *Gatekeeper) recvLoop() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-g.ep.Recv():
+			for {
+				msg, ok := g.ep.Next()
+				if !ok {
+					break
+				}
+				g.handle(msg)
+			}
+		}
+	}
+}
+
+func (g *Gatekeeper) handle(msg transport.Message) {
+	switch m := msg.Payload.(type) {
+	case wire.Announce:
+		g.mu.Lock()
+		g.clock.Observe(m.TS)
+		g.mu.Unlock()
+	case wire.ProgDelta:
+		g.handleProgDelta(m, msg.From)
+	case wire.GCReport:
+		// Gatekeeper 0 aggregates watermarks and prunes the oracle's
+		// event dependency graph (§4.5).
+		g.handleGCReport(m)
+	}
+}
+
+// announce broadcasts the clock to all other gatekeepers (§3.3).
+func (g *Gatekeeper) announce() {
+	g.mu.Lock()
+	ts := g.clock.Peek()
+	g.mu.Unlock()
+	for i := 0; i < g.cfg.NumGatekeepers; i++ {
+		if i == g.cfg.ID {
+			continue
+		}
+		if g.ep.Send(transport.GatekeeperAddr(i), wire.Announce{TS: ts}) == nil {
+			g.announces.Add(1)
+		}
+	}
+}
+
+// sendNops stamps one NOP and forwards it to every shard (§4.2), keeping
+// every per-gatekeeper shard queue non-empty so node programs and queued
+// transactions make progress.
+func (g *Gatekeeper) sendNops() {
+	g.mu.Lock()
+	ts := g.clock.Tick()
+	sends := make([]struct {
+		addr transport.Addr
+		seq  uint64
+	}, g.cfg.NumShards)
+	for s := 0; s < g.cfg.NumShards; s++ {
+		addr := transport.ShardAddr(s)
+		sends[s].addr = addr
+		sends[s].seq = g.seq.Next(addr)
+	}
+	g.mu.Unlock()
+	for _, snd := range sends {
+		if g.ep.Send(snd.addr, wire.Nop{TS: ts, Seq: snd.seq}) == nil {
+			g.nops.Add(1)
+		}
+	}
+}
+
+func (g *Gatekeeper) sendGCReport() {
+	g.mu.Lock()
+	wm := g.clock.Peek()
+	for _, p := range g.progs {
+		wm = core.PointwiseMin(wm, p.ts)
+	}
+	g.mu.Unlock()
+	rep := wire.GCReport{GK: g.cfg.ID, TS: wm}
+	for s := 0; s < g.cfg.NumShards; s++ {
+		g.ep.Send(transport.ShardAddr(s), rep)
+	}
+	// Gatekeeper 0 aggregates for the oracle.
+	g.ep.Send(transport.GatekeeperAddr(0), rep)
+}
+
+// handleGCReport aggregates per-gatekeeper watermarks at gatekeeper 0 and,
+// once a report from every gatekeeper is in, prunes the timeline oracle's
+// event dependency graph below the combined watermark (§4.5).
+func (g *Gatekeeper) handleGCReport(m wire.GCReport) {
+	if g.cfg.ID != 0 {
+		return
+	}
+	g.mu.Lock()
+	if g.gcSeen == nil {
+		g.gcSeen = make(map[int]core.Timestamp)
+	}
+	g.gcSeen[m.GK] = m.TS
+	if len(g.gcSeen) < g.cfg.NumGatekeepers {
+		g.mu.Unlock()
+		return
+	}
+	all := make([]core.Timestamp, 0, len(g.gcSeen))
+	for _, ts := range g.gcSeen {
+		all = append(all, ts)
+	}
+	g.gcSeen = make(map[int]core.Timestamp)
+	g.mu.Unlock()
+	g.orc.GC(core.PointwiseMin(all...))
+}

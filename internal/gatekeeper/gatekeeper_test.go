@@ -1,0 +1,230 @@
+package gatekeeper
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/kvstore"
+	"weaver/internal/oracle"
+	"weaver/internal/partition"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+type rig struct {
+	gk  *Gatekeeper
+	kv  *kvstore.Store
+	orc *oracle.Service
+	f   *transport.Fabric
+}
+
+func newRig(t *testing.T, gks, shards int) *rig {
+	t.Helper()
+	f := transport.NewFabric()
+	kv := kvstore.New()
+	orc := oracle.NewService()
+	// Shards just need mailboxes so sends succeed.
+	for i := 0; i < shards; i++ {
+		f.Endpoint(transport.ShardAddr(i))
+	}
+	gk := New(Config{
+		ID: 0, NumGatekeepers: gks, NumShards: shards,
+		AnnouncePeriod: 200 * time.Microsecond,
+		NopPeriod:      100 * time.Microsecond,
+	}, f.Endpoint(transport.GatekeeperAddr(0)), kvstore.AsBacking(kv), orc, partition.NewHash(shards))
+	gk.Start()
+	t.Cleanup(gk.Stop)
+	return &rig{gk: gk, kv: kv, orc: orc, f: f}
+}
+
+func TestCommitWritesRecords(t *testing.T) {
+	r := newRig(t, 1, 2)
+	res, err := r.gk.CommitTx(nil, []graph.Op{
+		{Kind: graph.OpCreateVertex, Vertex: "v"},
+		{Kind: graph.OpSetVertexProp, Vertex: "v", Key: "name", Value: "x"},
+		{Kind: graph.OpCreateEdge, Vertex: "v", Edge: "~0", To: "w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 1 {
+		t.Fatalf("edge map %v", res.Edges)
+	}
+	rec, _, ok, err := r.gk.ReadVertex("v")
+	if err != nil || !ok {
+		t.Fatalf("ReadVertex: %v %v", ok, err)
+	}
+	if rec.Props["name"] != "x" || len(rec.Edges) != 1 {
+		t.Fatalf("record %+v", rec)
+	}
+	if !rec.LastTS.Equals(res.TS) {
+		t.Fatalf("lastTS %v != commit ts %v", rec.LastTS, res.TS)
+	}
+	if rec.Shard != partition.NewHash(2).Lookup("v") {
+		t.Fatal("record shard assignment wrong")
+	}
+}
+
+func TestCommitValidatesReads(t *testing.T) {
+	r := newRig(t, 1, 1)
+	if _, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "v"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, ver, _, _ := r.gk.ReadVertex("v")
+	// Concurrent change invalidates the recorded read.
+	if _, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpSetVertexProp, Vertex: "v", Key: "k", Value: "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.gk.CommitTx([]ReadCheck{{Key: VertexKey("v"), Version: ver}},
+		[]graph.Op{{Kind: graph.OpSetVertexProp, Vertex: "v", Key: "k", Value: "2"}})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale read must conflict: %v", err)
+	}
+}
+
+func TestCommitRegistersConcurrentOrderWithOracle(t *testing.T) {
+	r := newRig(t, 2, 1)
+	// Seed a vertex whose LastTS is a *concurrent* gk1 timestamp.
+	other := core.NewVectorClock(1, 2, 0)
+	otherTS := other.Tick()
+	rec := graph.NewVertexRecord("v", 0)
+	rec.LastTS = otherTS
+	r.kv.Put(VertexKey("v"), EncodeRecord(rec))
+
+	res, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpSetVertexProp, Vertex: "v", Key: "k", Value: "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle must now hold otherTS ≺ res.TS.
+	o, err := r.orc.Ordered(oracle.EventOf(otherTS), oracle.EventOf(res.TS))
+	if err != nil || o != core.Before {
+		t.Fatalf("order not registered: %v %v", o, err)
+	}
+	if r.gk.Stats().OracleAssigns != 1 {
+		t.Fatalf("stats: %+v", r.gk.Stats())
+	}
+}
+
+func TestInvalidOpsAbortOnBackingStore(t *testing.T) {
+	r := newRig(t, 1, 1)
+	cases := [][]graph.Op{
+		{{Kind: graph.OpDeleteVertex, Vertex: "ghost"}},
+		{{Kind: graph.OpCreateEdge, Vertex: "ghost", Edge: "~0", To: "x"}},
+		{{Kind: graph.OpDeleteEdge, Vertex: "ghost", Edge: "e"}},
+		{{Kind: graph.OpSetVertexProp, Vertex: "ghost", Key: "k"}},
+		{{Kind: graph.OpCreateVertex, Vertex: "dup"}, {Kind: graph.OpCreateVertex, Vertex: "dup"}},
+	}
+	for i, ops := range cases {
+		if _, err := r.gk.CommitTx(nil, ops); !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	if st := r.gk.Stats(); st.TxInvalid != uint64(len(cases)) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestTimestampsMonotonicPerGatekeeper(t *testing.T) {
+	r := newRig(t, 1, 1)
+	var prev core.Timestamp
+	for i := 0; i < 10; i++ {
+		res, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpCreateVertex, Vertex: graph.VertexID(rune('a' + i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prev.Zero() && !prev.Before(res.TS) {
+			t.Fatalf("timestamps regressed: %v then %v", prev, res.TS)
+		}
+		prev = res.TS
+	}
+}
+
+func TestAnnounceAndNopLoopsRun(t *testing.T) {
+	r := newRig(t, 2, 2)
+	// Second gatekeeper mailbox so announces are deliverable.
+	r.f.Endpoint(transport.GatekeeperAddr(1))
+	time.Sleep(5 * time.Millisecond)
+	st := r.gk.Stats()
+	if st.Nops == 0 {
+		t.Fatal("nop loop idle")
+	}
+	// Announces require the peer endpoint registered after start; allow
+	// either but the loop must be ticking.
+	if st.Announces == 0 && st.Nops == 0 {
+		t.Fatal("announce loop idle")
+	}
+}
+
+func TestGCAggregationTriggersOracleGC(t *testing.T) {
+	f := transport.NewFabric()
+	kv := kvstore.New()
+	orc := oracle.NewService()
+	f.Endpoint(transport.ShardAddr(0))
+	gk := New(Config{
+		ID: 0, NumGatekeepers: 2, NumShards: 1,
+		GCPeriod: time.Millisecond,
+	}, f.Endpoint(transport.GatekeeperAddr(0)), kvstore.AsBacking(kv), orc, partition.NewHash(1))
+	gk.Start()
+	t.Cleanup(gk.Stop)
+
+	// Register two old events at the oracle.
+	a := oracle.EventOf(core.Timestamp{Epoch: 0, Owner: 0, Clock: []uint64{1, 0}})
+	b := oracle.EventOf(core.Timestamp{Epoch: 0, Owner: 1, Clock: []uint64{0, 1}})
+	orc.QueryOrder(a, b, core.Before)
+
+	// Simulate gk1: announce its clock (so gk0's watermark component for
+	// gk1 advances past event b) and report its GC watermark. gk0's own
+	// report comes from its GC loop.
+	ep1 := f.Endpoint(transport.GatekeeperAddr(1))
+	future := core.Timestamp{Epoch: 0, Owner: 1, Clock: []uint64{100, 100}}
+	deadline := time.Now().Add(5 * time.Second)
+	for orc.Stats().Events > 0 {
+		ep1.Send(transport.GatekeeperAddr(0), wire.Announce{TS: future})
+		ep1.Send(transport.GatekeeperAddr(0), wire.GCReport{GK: 1, TS: future})
+		if time.Now().After(deadline) {
+			t.Fatalf("oracle never GCed: %+v", orc.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestPauseBlocksCommits(t *testing.T) {
+	r := newRig(t, 1, 1)
+	r.gk.Pause()
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "v"}})
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("commit proceeded through a paused gatekeeper")
+	case <-time.After(5 * time.Millisecond):
+	}
+	r.gk.Resume()
+	if err := <-done; err != nil {
+		t.Fatalf("commit after resume: %v", err)
+	}
+}
+
+func TestEnterEpochRestartsClock(t *testing.T) {
+	r := newRig(t, 1, 1)
+	res, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.gk.EnterEpoch(3)
+	res2, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TS.Epoch != 3 || res2.TS.Counter() != 1 {
+		t.Fatalf("clock not restarted: %v", res2.TS)
+	}
+	if !res.TS.Before(res2.TS) {
+		t.Fatal("epoch ordering broken")
+	}
+}

@@ -1,0 +1,195 @@
+package gatekeeper
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// ErrProgTimeout is returned when a node program fails to complete within
+// the configured deadline.
+var ErrProgTimeout = errors.New("gatekeeper: node program timed out")
+
+// ErrProgFailed wraps errors raised by a node program visit on a shard.
+var ErrProgFailed = errors.New("gatekeeper: node program failed")
+
+// RunProgram launches the named node program at the start vertices and
+// blocks until it terminates everywhere, returning the values the program
+// returned across all visits (§2.3 gather). The program is stamped with a
+// fresh refinable timestamp and reads the graph snapshot at that timestamp
+// (§4.1).
+func (g *Gatekeeper) RunProgram(prog string, params []byte, start []graph.VertexID) ([][]byte, core.Timestamp, error) {
+	g.mu.Lock()
+	ts := g.clock.Tick()
+	g.mu.Unlock()
+	res, err := g.runProgramAt(ts, prog, params, start)
+	return res, ts, err
+}
+
+// RunProgramAt launches a node program reading the graph as of a caller-
+// supplied timestamp — the historical query mode enabled by the
+// multi-version graph (§4.5). The timestamp must have been obtained from
+// this cluster (e.g. a previous commit's timestamp).
+func (g *Gatekeeper) RunProgramAt(ts core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
+	return g.runProgramAt(ts, prog, params, start)
+}
+
+func (g *Gatekeeper) runProgramAt(ts core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
+	// The pause lock gates issuance only — never the completion wait, or
+	// a program stranded on a crashed shard would stall the epoch barrier
+	// that recovers that very shard (§4.3).
+	g.pause.RLock()
+	select {
+	case <-g.stop:
+		g.pause.RUnlock()
+		return nil, ErrStopped
+	default:
+	}
+	if len(start) == 0 {
+		g.pause.RUnlock()
+		return nil, nil
+	}
+	g.progsStarted.Add(1)
+	qid := ts.ID()
+
+	byShard := make(map[int][]wire.Hop)
+	p := &progPending{
+		ts:      ts,
+		pending: make(map[uint64]struct{}, len(start)),
+		early:   make(map[uint64]struct{}),
+		done:    make(chan struct{}),
+		shards:  make(map[int]struct{}),
+	}
+	for _, v := range start {
+		id := g.hopSeq.Add(1) | coordinatorHopBit
+		p.pending[id] = struct{}{}
+		s := g.lookupShard(v)
+		byShard[s] = append(byShard[s], wire.Hop{ID: id, Vertex: v, Program: prog, Params: params})
+	}
+	for s := range byShard {
+		p.shards[s] = struct{}{}
+	}
+	g.mu.Lock()
+	g.progs[qid] = p
+	g.mu.Unlock()
+
+	for s, hops := range byShard {
+		err := g.ep.Send(transport.ShardAddr(s), wire.ProgStart{
+			QID:         qid,
+			TS:          ts,
+			Prog:        prog,
+			Params:      params,
+			Hops:        hops,
+			Coordinator: g.ep.Addr(),
+		})
+		if err != nil {
+			g.finishProg(qid, p, fmt.Errorf("%w: shard %d unreachable: %v", ErrProgFailed, s, err))
+			break
+		}
+	}
+	g.pause.RUnlock()
+
+	select {
+	case <-p.done:
+	case <-time.After(g.cfg.ProgTimeout):
+		g.finishProg(qid, p, ErrProgTimeout)
+		<-p.done
+	case <-g.stop:
+		g.finishProg(qid, p, ErrStopped)
+		<-p.done
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p.results, nil
+}
+
+// lookupShard resolves a vertex's home shard, preferring the authoritative
+// backing-store record over the static directory.
+func (g *Gatekeeper) lookupShard(v graph.VertexID) int {
+	if rec, _, ok, _ := g.ReadVertex(v); ok {
+		return rec.Shard
+	}
+	return g.dir.Lookup(v)
+}
+
+// handleProgDelta folds one shard progress report into the coordinator
+// state: hops consumed locally shrink the outstanding count, hops forwarded
+// to other shards grow it, and returned values accumulate. Outstanding
+// reaching zero terminates the query (§2.3).
+func (g *Gatekeeper) handleProgDelta(m wire.ProgDelta, from transport.Addr) {
+	g.mu.Lock()
+	p, ok := g.progs[m.QID]
+	if !ok {
+		g.mu.Unlock()
+		return // late delta for a finished/timed-out query
+	}
+	if s, found := shardIndex(from); found {
+		p.shards[s] = struct{}{}
+	}
+	if m.Err != "" {
+		g.mu.Unlock()
+		g.finishProg(m.QID, p, fmt.Errorf("%w: %s", ErrProgFailed, m.Err))
+		return
+	}
+	p.results = append(p.results, m.Results...)
+	// Match spawn records against consumption reports. A consumption that
+	// arrives before its spawn record parks in `early`; the query is done
+	// only when every spawned hop is consumed and nothing is parked.
+	for _, id := range m.SpawnedIDs {
+		if _, wasEarly := p.early[id]; wasEarly {
+			delete(p.early, id)
+			continue
+		}
+		p.pending[id] = struct{}{}
+	}
+	for _, id := range m.ConsumedIDs {
+		if _, ok := p.pending[id]; ok {
+			delete(p.pending, id)
+			continue
+		}
+		p.early[id] = struct{}{}
+	}
+	finished := len(p.pending) == 0 && len(p.early) == 0
+	g.mu.Unlock()
+	if finished {
+		g.finishProg(m.QID, p, nil)
+	}
+}
+
+// finishProg completes a query exactly once: records the error, wakes the
+// waiter, and tells every involved shard to garbage collect the query's
+// per-vertex state (§4.5).
+func (g *Gatekeeper) finishProg(qid core.ID, p *progPending, err error) {
+	g.mu.Lock()
+	if _, live := g.progs[qid]; !live {
+		g.mu.Unlock()
+		return
+	}
+	delete(g.progs, qid)
+	p.err = err
+	shards := make([]int, 0, len(p.shards))
+	for s := range p.shards {
+		shards = append(shards, s)
+	}
+	g.mu.Unlock()
+	g.progsFinished.Add(1)
+	for _, s := range shards {
+		g.ep.Send(transport.ShardAddr(s), wire.ProgFinish{QID: qid})
+	}
+	close(p.done)
+}
+
+// shardIndex parses a shard address back to its index.
+func shardIndex(a transport.Addr) (int, bool) {
+	var i int
+	if n, err := fmt.Sscanf(string(a), "shard/%d", &i); err == nil && n == 1 {
+		return i, true
+	}
+	return 0, false
+}

@@ -1,0 +1,345 @@
+package gatekeeper
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/kvstore"
+	"weaver/internal/oracle"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// TempEdgePrefix marks client-side placeholder edge IDs: a client creating
+// an edge inside a transaction names it "~0", "~1", … and the gatekeeper
+// rewrites them to globally unique IDs derived from the commit timestamp.
+const TempEdgePrefix = "~"
+
+// ReadVertex fetches the current committed record of a vertex from the
+// backing store, with the version to carry in a ReadCheck at commit.
+// Missing or deleted vertices return ok=false; the version is meaningful
+// either way and must still be validated at commit.
+func (g *Gatekeeper) ReadVertex(v graph.VertexID) (rec *graph.VertexRecord, version uint64, ok bool, err error) {
+	data, version, found := g.kv.GetVersioned(VertexKey(v))
+	if !found {
+		return nil, version, false, nil
+	}
+	rec, err = DecodeRecord(data)
+	if err != nil {
+		return nil, version, false, err
+	}
+	if rec.Deleted {
+		return nil, version, false, nil
+	}
+	return rec, version, true, nil
+}
+
+// CommitResult reports a successful commit: the transaction's refinable
+// timestamp and the mapping from placeholder edge IDs to assigned ones.
+type CommitResult struct {
+	TS    core.Timestamp
+	Edges map[graph.EdgeID]graph.EdgeID
+}
+
+// CommitTx executes one read-write transaction (§4.2):
+//
+//  1. stamp a refinable timestamp;
+//  2. execute on the backing store: validate the client's reads, validate
+//     and apply the buffered write operations to the vertex records, and
+//     enforce that the new timestamp orders after each touched vertex's
+//     last-update timestamp (registering the order with the timeline
+//     oracle when the pair is concurrent; retrying with a fresh timestamp
+//     when ordering is impossible);
+//  3. on successful backing-store commit, forward the per-shard write-sets
+//     over FIFO channels; shards apply them without coordination.
+//
+// ErrConflict means a concurrent transaction invalidated this one: the
+// caller re-runs it from its reads. Errors wrapping ErrInvalid are semantic
+// (e.g. create of an existing vertex) and will not succeed on retry.
+func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, error) {
+	g.pause.RLock()
+	defer g.pause.RUnlock()
+	select {
+	case <-g.stop:
+		return CommitResult{}, ErrStopped
+	default:
+	}
+	// Commit pipeline: reserve (timestamp, per-shard sequence numbers)
+	// atomically, run the backing-store transaction without holding any
+	// gatekeeper lock, then forward. The reservation guarantees that each
+	// per-shard FIFO stream delivers monotonically increasing timestamps
+	// even with many concurrent committers on this gatekeeper: delivery
+	// order is sequence order, which is reservation order, which is
+	// timestamp order. Aborted attempts fill their reserved slots with
+	// NOPs so the streams never stall (§4.2).
+	var lastErr error
+	for attempt := 0; attempt < g.cfg.MaxCommitRetries; attempt++ {
+		if attempt > 0 {
+			g.txRetries.Add(1)
+		}
+		rsv := g.reserve()
+
+		res, shardOps, retry, err := g.tryCommit(rsv.ts, reads, ops)
+		if err == nil {
+			g.forward(rsv, shardOps)
+			g.txCommitted.Add(1)
+			return res, nil
+		}
+		g.fillReservation(rsv)
+		if !retry {
+			if errors.Is(err, ErrConflict) {
+				g.txConflicts.Add(1)
+			} else {
+				g.txInvalid.Add(1)
+			}
+			return CommitResult{}, err
+		}
+		lastErr = err
+	}
+	g.txConflicts.Add(1)
+	return CommitResult{}, fmt.Errorf("%w: timestamp ordering failed after %d retries: %v",
+		ErrConflict, g.cfg.MaxCommitRetries, lastErr)
+}
+
+// reservation is one atomically claimed slot in every per-shard FIFO
+// stream, paired with the timestamp that will occupy it.
+type reservation struct {
+	ts   core.Timestamp
+	seqs []uint64
+}
+
+func (g *Gatekeeper) reserve() reservation {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := reservation{ts: g.clock.Tick(), seqs: make([]uint64, g.cfg.NumShards)}
+	for s := 0; s < g.cfg.NumShards; s++ {
+		r.seqs[s] = g.seq.Next(transport.ShardAddr(s))
+	}
+	return r
+}
+
+// forward delivers a committed transaction's write-set: involved shards
+// get the operations, the rest get a NOP occupying the reserved slot (and
+// usefully advancing their frontier past this timestamp).
+func (g *Gatekeeper) forward(rsv reservation, shardOps map[int][]graph.Op) {
+	for s := 0; s < g.cfg.NumShards; s++ {
+		addr := transport.ShardAddr(s)
+		if ops := shardOps[s]; len(ops) > 0 {
+			g.ep.Send(addr, wire.TxForward{TS: rsv.ts, Seq: rsv.seqs[s], Ops: ops})
+		} else {
+			g.ep.Send(addr, wire.Nop{TS: rsv.ts, Seq: rsv.seqs[s]})
+		}
+	}
+}
+
+// fillReservation releases an aborted attempt's stream slots as NOPs.
+func (g *Gatekeeper) fillReservation(rsv reservation) {
+	for s := 0; s < g.cfg.NumShards; s++ {
+		g.ep.Send(transport.ShardAddr(s), wire.Nop{TS: rsv.ts, Seq: rsv.seqs[s]})
+	}
+}
+
+// tryCommit executes one attempt at timestamp ts, returning the per-shard
+// write-sets to forward on success. retry=true means the failure is
+// timestamp-ordering related and a fresh timestamp may succeed.
+func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph.Op) (CommitResult, map[int][]graph.Op, bool, error) {
+	tx := g.kv.Begin()
+	defer tx.Abort()
+
+	// Validate client reads: the version each read observed must still be
+	// current (and must remain so through commit — tx.GetVersioned
+	// registers the key in the OCC read set).
+	for _, rc := range reads {
+		_, ver, _, err := tx.GetVersioned(rc.Key)
+		if err != nil {
+			return CommitResult{}, nil, false, err
+		}
+		if ver != rc.Version {
+			return CommitResult{}, nil, false, fmt.Errorf("%w: read of %q outdated", ErrConflict, rc.Key)
+		}
+	}
+
+	// Load, validate and mutate the touched vertex records.
+	type touched struct {
+		rec     *graph.VertexRecord
+		had     bool           // record existed before this tx
+		lastTS  core.Timestamp // its previous last-update timestamp
+		deleted bool           // tx deletes the vertex
+	}
+	recs := make(map[graph.VertexID]*touched)
+	load := func(v graph.VertexID) (*touched, error) {
+		if t, ok := recs[v]; ok {
+			return t, nil
+		}
+		data, _, found, err := tx.GetVersioned(VertexKey(v))
+		if err != nil {
+			return nil, err
+		}
+		t := &touched{}
+		if found {
+			rec, err := DecodeRecord(data)
+			if err != nil {
+				return nil, err
+			}
+			// A tombstone keeps the last-update timestamp but the
+			// vertex is not live: recreation is legal, other ops are
+			// not.
+			t.rec, t.had, t.lastTS, t.deleted = rec, true, rec.LastTS, rec.Deleted
+		}
+		recs[v] = t
+		return t, nil
+	}
+
+	edgeMap := make(map[graph.EdgeID]graph.EdgeID)
+	finalOps := make([]graph.Op, 0, len(ops))
+	nextEdge := 0
+	resolveEdge := func(e graph.EdgeID) graph.EdgeID {
+		if !strings.HasPrefix(string(e), TempEdgePrefix) {
+			return e
+		}
+		if real, ok := edgeMap[e]; ok {
+			return real
+		}
+		real := graph.MakeEdgeID(ts.ID(), nextEdge)
+		nextEdge++
+		edgeMap[e] = real
+		return real
+	}
+
+	for _, op := range ops {
+		op.Edge = resolveEdge(op.Edge)
+		t, err := load(op.Vertex)
+		if err != nil {
+			return CommitResult{}, nil, false, err
+		}
+		live := t.rec != nil && !t.deleted
+		switch op.Kind {
+		case graph.OpCreateVertex:
+			if live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: create_vertex %q: exists", ErrInvalid, op.Vertex)
+			}
+			t.rec = graph.NewVertexRecord(op.Vertex, g.dir.Lookup(op.Vertex))
+			t.deleted = false
+		case graph.OpDeleteVertex:
+			if !live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: delete_vertex %q: not live", ErrInvalid, op.Vertex)
+			}
+			t.deleted = true
+		case graph.OpCreateEdge:
+			if !live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: create_edge on %q: vertex not live", ErrInvalid, op.Vertex)
+			}
+			if _, dup := t.rec.Edges[op.Edge]; dup {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: create_edge %q: duplicate", ErrInvalid, op.Edge)
+			}
+			t.rec.Edges[op.Edge] = graph.EdgeRecord{To: op.To, Props: map[string]string{}}
+		case graph.OpDeleteEdge:
+			if !live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: delete_edge on %q: vertex not live", ErrInvalid, op.Vertex)
+			}
+			if _, ok := t.rec.Edges[op.Edge]; !ok {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: delete_edge %q: no such edge", ErrInvalid, op.Edge)
+			}
+			delete(t.rec.Edges, op.Edge)
+		case graph.OpSetVertexProp:
+			if !live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: set_prop on %q: vertex not live", ErrInvalid, op.Vertex)
+			}
+			t.rec.Props[op.Key] = op.Value
+		case graph.OpDelVertexProp:
+			if !live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: del_prop on %q: vertex not live", ErrInvalid, op.Vertex)
+			}
+			delete(t.rec.Props, op.Key)
+		case graph.OpSetEdgeProp:
+			if !live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: set_edge_prop on %q: vertex not live", ErrInvalid, op.Vertex)
+			}
+			er, ok := t.rec.Edges[op.Edge]
+			if !ok {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: set_edge_prop %q: no such edge", ErrInvalid, op.Edge)
+			}
+			er.Props[op.Key] = op.Value
+			t.rec.Edges[op.Edge] = er
+		case graph.OpDelEdgeProp:
+			if !live {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: del_edge_prop on %q: vertex not live", ErrInvalid, op.Vertex)
+			}
+			er, ok := t.rec.Edges[op.Edge]
+			if !ok {
+				return CommitResult{}, nil, false, fmt.Errorf("%w: del_edge_prop %q: no such edge", ErrInvalid, op.Edge)
+			}
+			delete(er.Props, op.Key)
+		default:
+			return CommitResult{}, nil, false, fmt.Errorf("%w: unknown op %v", ErrInvalid, op.Kind)
+		}
+		finalOps = append(finalOps, op)
+	}
+
+	// Last-update timestamp check (§4.2): ts must order after every
+	// touched vertex's previous update. Fresh ticks are never
+	// vclock-before an existing timestamp, but pairs are often
+	// concurrent — those orders are registered with the timeline oracle
+	// so shard replay matches backing-store commit order.
+	for _, t := range recs {
+		if !t.had {
+			continue
+		}
+		switch ts.Compare(t.lastTS) {
+		case core.After:
+			// Naturally ordered.
+		case core.Concurrent:
+			g.oracleAssigns.Add(1)
+			if err := g.orc.AssignOrder(oracle.EventOf(t.lastTS), oracle.EventOf(ts)); err != nil {
+				return CommitResult{}, nil, true, fmt.Errorf("oracle refused order: %v", err)
+			}
+		default:
+			// Before or Equal: this timestamp cannot commit after
+			// lastTS; retry with a fresh one (§4.2).
+			return CommitResult{}, nil, true, fmt.Errorf("timestamp %v not after last update %v", ts, t.lastTS)
+		}
+	}
+
+	// Write records back.
+	for v, t := range recs {
+		if t.rec == nil {
+			continue
+		}
+		t.rec.LastTS = ts
+		if t.deleted {
+			t.rec.Deleted = true
+			t.rec.Props = map[string]string{}
+			t.rec.Edges = map[graph.EdgeID]graph.EdgeRecord{}
+		} else {
+			t.rec.Deleted = false
+		}
+		tx.Put(VertexKey(v), EncodeRecord(t.rec))
+	}
+
+	if err := tx.Commit(); err != nil {
+		if errors.Is(err, kvstore.ErrConflict) {
+			return CommitResult{}, nil, false, fmt.Errorf("%w: backing store conflict", ErrConflict)
+		}
+		return CommitResult{}, nil, false, err
+	}
+
+	// Group the write-set by home shard for the caller to forward.
+	shardOps := make(map[int][]graph.Op)
+	for _, op := range finalOps {
+		s := g.shardOf(op.Vertex, recs[op.Vertex].rec)
+		shardOps[s] = append(shardOps[s], op)
+	}
+	return CommitResult{TS: ts, Edges: edgeMap}, shardOps, false, nil
+}
+
+// shardOf resolves a vertex's home shard, preferring the authoritative
+// record (which pins placement even if the directory evolves).
+func (g *Gatekeeper) shardOf(v graph.VertexID, rec *graph.VertexRecord) int {
+	if rec != nil {
+		return rec.Shard
+	}
+	return g.dir.Lookup(v)
+}

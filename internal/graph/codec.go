@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// EncodeRecord gob-encodes a vertex record for the backing store.
+func EncodeRecord(rec *VertexRecord) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		panic(fmt.Sprintf("graph: encode record: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// DecodeRecord decodes a vertex record produced by EncodeRecord.
+func DecodeRecord(data []byte) (*VertexRecord, error) {
+	var rec VertexRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}

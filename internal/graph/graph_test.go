@@ -1,0 +1,416 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"weaver/internal/core"
+)
+
+// seqTS issues single-gatekeeper timestamps 1,2,3… so Before is the plain
+// counter order.
+type seqTS struct{ n uint64 }
+
+func (s *seqTS) next() core.Timestamp {
+	s.n++
+	return core.Timestamp{Epoch: 0, Owner: 0, Clock: []uint64{s.n}}
+}
+
+// atTS builds the visibility predicate "strictly before t" for totally
+// ordered (single-owner) timestamps.
+func atTS(t core.Timestamp) Before {
+	return func(w core.Timestamp) bool { return w.Compare(t) == core.Before }
+}
+
+func TestVertexLifecycleVisibility(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	t1 := c.next()
+	if err := s.Apply(Op{Kind: OpCreateVertex, Vertex: "a"}, t1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := c.next()
+	t3 := c.next()
+	if err := s.Apply(Op{Kind: OpDeleteVertex, Vertex: "a"}, t3); err != nil {
+		t.Fatal(err)
+	}
+	t4 := c.next()
+
+	if s.At(atTS(t1)).Exists("a") {
+		t.Error("vertex must be invisible before creation")
+	}
+	if !s.At(atTS(t2)).Exists("a") {
+		t.Error("vertex must be visible after creation")
+	}
+	if !s.At(atTS(t3)).Exists("a") {
+		t.Error("vertex must be visible up to (not incl.) deletion")
+	}
+	if s.At(atTS(t4)).Exists("a") {
+		t.Error("vertex must be invisible after deletion")
+	}
+}
+
+func TestEdgeVersioning(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "u"}, c.next())
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "v"}, c.next())
+	e1 := EdgeID("e1")
+	tCreate := c.next()
+	if err := s.Apply(Op{Kind: OpCreateEdge, Vertex: "u", Edge: e1, To: "v"}, tCreate); err != nil {
+		t.Fatal(err)
+	}
+	tMid := c.next()
+	tDel := c.next()
+	if err := s.Apply(Op{Kind: OpDeleteEdge, Vertex: "u", Edge: e1}, tDel); err != nil {
+		t.Fatal(err)
+	}
+	tAfter := c.next()
+
+	if vv, ok := s.At(atTS(tMid)).Vertex("u"); !ok || len(vv.Edges) != 1 || vv.Edges[0].To != "v" {
+		t.Fatalf("edge must be visible at %v: %+v", tMid, vv)
+	}
+	if vv, ok := s.At(atTS(tAfter)).Vertex("u"); !ok || len(vv.Edges) != 0 {
+		t.Fatalf("edge must be gone at %v: %+v", tAfter, vv)
+	}
+	// Historical read still sees it — the multi-version property (§4.5).
+	if vv, _ := s.At(atTS(tMid)).Vertex("u"); len(vv.Edges) != 1 {
+		t.Fatal("historical read lost the old version")
+	}
+}
+
+func TestPropertySupersede(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "v"}, c.next())
+	s.Apply(Op{Kind: OpSetVertexProp, Vertex: "v", Key: "color", Value: "red"}, c.next())
+	tRed := c.next()
+	s.Apply(Op{Kind: OpSetVertexProp, Vertex: "v", Key: "color", Value: "blue"}, c.next())
+	tBlue := c.next()
+	s.Apply(Op{Kind: OpDelVertexProp, Vertex: "v", Key: "color"}, c.next())
+	tGone := c.next()
+
+	if vv, _ := s.At(atTS(tRed)).Vertex("v"); vv.Props["color"] != "red" {
+		t.Fatalf("at %v color=%q, want red", tRed, vv.Props["color"])
+	}
+	if vv, _ := s.At(atTS(tBlue)).Vertex("v"); vv.Props["color"] != "blue" {
+		t.Fatalf("at %v color=%q, want blue", tBlue, vv.Props["color"])
+	}
+	if vv, _ := s.At(atTS(tGone)).Vertex("v"); vv.Props["color"] != "" {
+		t.Fatalf("at %v color=%q, want deleted", tGone, vv.Props["color"])
+	}
+}
+
+func TestEdgePropsAndHasProp(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "u"}, c.next())
+	s.Apply(Op{Kind: OpCreateEdge, Vertex: "u", Edge: "e", To: "w"}, c.next())
+	s.Apply(Op{Kind: OpSetEdgeProp, Vertex: "u", Edge: "e", Key: "weight", Value: "3.0"}, c.next())
+	now := c.next()
+	vv, _ := s.At(atTS(now)).Vertex("u")
+	e := vv.Edges[0]
+	if !e.HasProp("weight", "") || !e.HasProp("weight", "3.0") || e.HasProp("weight", "4.0") || e.HasProp("color", "") {
+		t.Fatalf("HasProp misbehaves: %+v", e)
+	}
+	s.Apply(Op{Kind: OpDelEdgeProp, Vertex: "u", Edge: "e", Key: "weight"}, c.next())
+	vv, _ = s.At(atTS(c.next())).Vertex("u")
+	if vv.Edges[0].HasProp("weight", "") {
+		t.Fatal("deleted edge prop still visible")
+	}
+}
+
+func TestDeleteVertexCascadesToEdges(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "u"}, c.next())
+	s.Apply(Op{Kind: OpCreateEdge, Vertex: "u", Edge: "e", To: "w"}, c.next())
+	s.Apply(Op{Kind: OpDeleteVertex, Vertex: "u"}, c.next())
+	now := c.next()
+	if s.At(atTS(now)).Exists("u") {
+		t.Fatal("vertex should be gone")
+	}
+	// Recreate: fresh object, no leaked edges.
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "u"}, c.next())
+	vv, ok := s.At(atTS(c.next())).Vertex("u")
+	if !ok || len(vv.Edges) != 0 {
+		t.Fatalf("recreated vertex must be fresh: %+v ok=%v", vv, ok)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "a"}, c.next())
+	cases := []Op{
+		{Kind: OpCreateVertex, Vertex: "a"},               // duplicate
+		{Kind: OpDeleteVertex, Vertex: "nope"},            // missing
+		{Kind: OpCreateEdge, Vertex: "nope", Edge: "e"},   // no vertex
+		{Kind: OpDeleteEdge, Vertex: "a", Edge: "ghost"},  // no edge
+		{Kind: OpSetVertexProp, Vertex: "nope", Key: "k"}, // no vertex
+		{Kind: OpDelVertexProp, Vertex: "nope", Key: "k"}, // no vertex
+		{Kind: OpSetEdgeProp, Vertex: "a", Edge: "g"},     // no edge
+		{Kind: OpDelEdgeProp, Vertex: "a", Edge: "g"},     // no edge
+		{Kind: OpKind(99)},                                // unknown
+	}
+	for i, op := range cases {
+		if err := s.Apply(op, c.next()); err == nil {
+			t.Errorf("case %d (%v): expected error", i, op.Kind)
+		}
+	}
+	// Double delete of an edge errors.
+	s.Apply(Op{Kind: OpCreateEdge, Vertex: "a", Edge: "e", To: "b"}, c.next())
+	if err := s.Apply(Op{Kind: OpDeleteEdge, Vertex: "a", Edge: "e"}, c.next()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Op{Kind: OpDeleteEdge, Vertex: "a", Edge: "e"}, c.next()); err == nil {
+		t.Error("double edge delete must error")
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "hub"}, c.next())
+	for i := 0; i < 5; i++ {
+		s.Apply(Op{Kind: OpCreateEdge, Vertex: "hub", Edge: MakeEdgeID(core.ID{Counter: uint64(i)}, i), To: "x"}, c.next())
+	}
+	s.Apply(Op{Kind: OpDeleteEdge, Vertex: "hub", Edge: MakeEdgeID(core.ID{Counter: 0}, 0)}, c.next())
+	n, ok := s.At(atTS(c.next())).CountEdges("hub")
+	if !ok || n != 4 {
+		t.Fatalf("CountEdges = %d,%v want 4,true", n, ok)
+	}
+	if _, ok := s.At(atTS(c.next())).CountEdges("ghost"); ok {
+		t.Fatal("missing vertex must report !ok")
+	}
+}
+
+func TestLoadFromRecord(t *testing.T) {
+	s := NewStore()
+	rec := NewVertexRecord("v", 2)
+	rec.Props["name"] = "vertex-v"
+	rec.Edges["e9"] = EdgeRecord{To: "w", Props: map[string]string{"kind": "friend"}}
+	rec.LastTS = core.Timestamp{Epoch: 0, Owner: 0, Clock: []uint64{7}}
+	s.Load(rec)
+
+	after := core.Timestamp{Epoch: 0, Owner: 0, Clock: []uint64{8}}
+	vv, ok := s.At(atTS(after)).Vertex("v")
+	if !ok || vv.Props["name"] != "vertex-v" || len(vv.Edges) != 1 || vv.Edges[0].Props["kind"] != "friend" {
+		t.Fatalf("load mismatch: %+v ok=%v", vv, ok)
+	}
+	// Not visible before its LastTS.
+	if s.At(atTS(rec.LastTS)).Exists("v") {
+		t.Fatal("recovered vertex must not predate its record timestamp")
+	}
+}
+
+func TestCollectBefore(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "keep"}, c.next())
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "dead"}, c.next())
+	s.Apply(Op{Kind: OpCreateEdge, Vertex: "keep", Edge: "e", To: "dead"}, c.next())
+	s.Apply(Op{Kind: OpSetVertexProp, Vertex: "keep", Key: "p", Value: "1"}, c.next())
+	s.Apply(Op{Kind: OpSetVertexProp, Vertex: "keep", Key: "p", Value: "2"}, c.next())
+	s.Apply(Op{Kind: OpDeleteEdge, Vertex: "keep", Edge: "e"}, c.next())
+	s.Apply(Op{Kind: OpDeleteVertex, Vertex: "dead"}, c.next())
+	wm := c.next()
+	removed := s.CollectBefore(wm)
+	// Removed: vertex "dead", edge "e", superseded prop version "1".
+	if removed != 3 {
+		t.Fatalf("removed = %d, want 3", removed)
+	}
+	if s.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d, want 1", s.NumVertices())
+	}
+	vv, ok := s.At(atTS(c.next())).Vertex("keep")
+	if !ok || vv.Props["p"] != "2" || len(vv.Edges) != 0 {
+		t.Fatalf("survivor corrupted: %+v", vv)
+	}
+}
+
+func TestMakeEdgeID(t *testing.T) {
+	id := MakeEdgeID(core.ID{Epoch: 1, Owner: 2, Counter: 3}, 4)
+	if !strings.Contains(string(id), "e1.gk2.3") || !strings.HasSuffix(string(id), "#4") {
+		t.Fatalf("unexpected edge id %q", id)
+	}
+	if MakeEdgeID(core.ID{Epoch: 1, Owner: 2, Counter: 3}, 5) == id {
+		t.Fatal("edge ids must differ per index")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	kinds := []OpKind{OpCreateVertex, OpDeleteVertex, OpCreateEdge, OpDeleteEdge,
+		OpSetVertexProp, OpDelVertexProp, OpSetEdgeProp, OpDelEdgeProp}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+	if !strings.Contains(OpKind(77).String(), "77") {
+		t.Fatal("unknown kind should include number")
+	}
+}
+
+// Property test: snapshot stability. Apply a random op sequence; any view
+// taken at timestamp t must return identical results before and after
+// further writes are applied (readers are isolated from later writes).
+func TestQuickSnapshotStability(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := NewStore()
+	var c seqTS
+	vids := []VertexID{"a", "b", "c", "d"}
+	live := map[VertexID]bool{}
+	var edgeSeq int
+	edges := map[VertexID][]EdgeID{}
+
+	applyRandom := func() {
+		v := vids[r.Intn(len(vids))]
+		switch r.Intn(5) {
+		case 0:
+			if !live[v] {
+				if s.Apply(Op{Kind: OpCreateVertex, Vertex: v}, c.next()) == nil {
+					live[v] = true
+					edges[v] = nil
+				}
+			}
+		case 1:
+			if live[v] {
+				if s.Apply(Op{Kind: OpDeleteVertex, Vertex: v}, c.next()) == nil {
+					live[v] = false
+				}
+			}
+		case 2:
+			if live[v] {
+				edgeSeq++
+				eid := MakeEdgeID(core.ID{Counter: uint64(edgeSeq)}, 0)
+				if s.Apply(Op{Kind: OpCreateEdge, Vertex: v, Edge: eid, To: vids[r.Intn(len(vids))]}, c.next()) == nil {
+					edges[v] = append(edges[v], eid)
+				}
+			}
+		case 3:
+			if live[v] && len(edges[v]) > 0 {
+				eid := edges[v][0]
+				if s.Apply(Op{Kind: OpDeleteEdge, Vertex: v, Edge: eid}, c.next()) == nil {
+					edges[v] = edges[v][1:]
+				}
+			}
+		case 4:
+			if live[v] {
+				s.Apply(Op{Kind: OpSetVertexProp, Vertex: v, Key: "k", Value: string(rune('a' + r.Intn(26)))}, c.next())
+			}
+		}
+	}
+
+	type snapshot struct {
+		at   core.Timestamp
+		data map[VertexID]string
+	}
+	capture := func(at core.Timestamp) map[VertexID]string {
+		m := map[VertexID]string{}
+		view := s.At(atTS(at))
+		for _, v := range vids {
+			if vv, ok := view.Vertex(v); ok {
+				m[v] = vv.Props["k"] + "|" + itoa(len(vv.Edges))
+			}
+		}
+		return m
+	}
+
+	var snaps []snapshot
+	for i := 0; i < 800; i++ {
+		applyRandom()
+		if i%97 == 0 {
+			at := c.next()
+			snaps = append(snaps, snapshot{at: at, data: capture(at)})
+		}
+	}
+	for _, sn := range snaps {
+		if got := capture(sn.at); !mapsEqual(got, sn.data) {
+			t.Fatalf("snapshot at %v drifted: %v -> %v", sn.at, sn.data, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func mapsEqual(a, b map[VertexID]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvictBeforeAndHas(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "cold"}, c.next())
+	s.Apply(Op{Kind: OpCreateVertex, Vertex: "warm"}, c.next())
+	wmBetween := c.next()
+	s.Apply(Op{Kind: OpSetVertexProp, Vertex: "warm", Key: "k", Value: "1"}, c.next())
+
+	// Watermark between: only "cold" (all writes below) is evictable.
+	evicted := s.EvictBefore(wmBetween, 10)
+	if len(evicted) != 1 || evicted[0] != "cold" {
+		t.Fatalf("evicted %v, want [cold]", evicted)
+	}
+	if s.Has("cold") || !s.Has("warm") {
+		t.Fatal("eviction removed the wrong vertex")
+	}
+	// Limit respected.
+	if got := s.EvictBefore(c.next(), 0); got != nil {
+		t.Fatalf("limit 0 evicted %v", got)
+	}
+}
+
+func TestLoadedChainSkipsPreSnapshotWrites(t *testing.T) {
+	s := NewStore()
+	var c seqTS
+	t1 := c.next()
+	t2 := c.next()
+	rec := NewVertexRecord("v", 0)
+	rec.Props["k"] = "snapshot"
+	rec.LastTS = t2
+	s.Load(rec)
+
+	// A replayed write at or below the snapshot must be a silent no-op.
+	if err := s.Apply(Op{Kind: OpSetVertexProp, Vertex: "v", Key: "k", Value: "stale"}, t1); err != nil {
+		t.Fatalf("pre-snapshot replay must not error: %v", err)
+	}
+	if err := s.Apply(Op{Kind: OpSetVertexProp, Vertex: "v", Key: "k", Value: "stale"}, t2); err != nil {
+		t.Fatalf("at-snapshot replay must not error: %v", err)
+	}
+	after := c.next()
+	vv, _ := s.At(atTS(after)).Vertex("v")
+	if vv.Props["k"] != "snapshot" {
+		t.Fatalf("replay overwrote snapshot: %v", vv.Props)
+	}
+	// A genuinely new write still applies.
+	t3 := c.next()
+	if err := s.Apply(Op{Kind: OpSetVertexProp, Vertex: "v", Key: "k", Value: "fresh"}, t3); err != nil {
+		t.Fatal(err)
+	}
+	vv, _ = s.At(atTS(c.next())).Vertex("v")
+	if vv.Props["k"] != "fresh" {
+		t.Fatalf("post-snapshot write lost: %v", vv.Props)
+	}
+}

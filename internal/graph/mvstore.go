@@ -1,0 +1,346 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"weaver/internal/core"
+)
+
+// Property is one version of a named attribute. A live version has a zero
+// Deleted timestamp; setting a property again supersedes the previous
+// version by stamping its Deleted field.
+type Property struct {
+	Key     string
+	Value   string
+	Created core.Timestamp
+	Deleted core.Timestamp
+}
+
+// Edge is a directed out-edge with its version interval and property
+// versions.
+type Edge struct {
+	ID      EdgeID
+	From    VertexID
+	To      VertexID
+	Created core.Timestamp
+	Deleted core.Timestamp
+	Props   []Property
+}
+
+// Vertex holds one incarnation of a vertex: its lifetime interval, its
+// property versions, and all out-edges rooted at it (§3.2: a partition is a
+// set of vertices plus all outgoing edges rooted at those vertices).
+type Vertex struct {
+	ID      VertexID
+	Created core.Timestamp
+	Deleted core.Timestamp
+	Props   []Property
+	Out     map[EdgeID]*Edge
+}
+
+// chain is the full multi-version history of one vertex ID: a list of
+// incarnations with disjoint lifetimes, oldest first. Delete-then-recreate
+// appends a new incarnation instead of destroying history, so node programs
+// reading at old timestamps still see the old incarnation (§4.5).
+type chain struct {
+	incarnations []*Vertex
+	// loadedAt, when non-zero, records that this chain was installed
+	// from a backing-store record snapshotted at that timestamp
+	// (recovery §4.3, demand paging §6.1). Writes at or below it are
+	// already reflected in the snapshot and must not re-apply.
+	loadedAt core.Timestamp
+}
+
+func (c *chain) latest() *Vertex {
+	if len(c.incarnations) == 0 {
+		return nil
+	}
+	return c.incarnations[len(c.incarnations)-1]
+}
+
+// Store is the multi-version graph held in memory by one shard server.
+// A single RWMutex guards it: transactional writes (applied one at a time
+// by the shard's event loop) take the write lock briefly per operation,
+// while node-program vertex visits take the read lock per visit. Because
+// every object is versioned, readers never block on logical conflicts —
+// this lock only protects physical map/slice structure.
+type Store struct {
+	mu       sync.RWMutex
+	vertices map[VertexID]*chain
+}
+
+// NewStore returns an empty multi-version graph store.
+func NewStore() *Store {
+	return &Store{vertices: make(map[VertexID]*chain)}
+}
+
+// NumVertices returns the number of vertex IDs with at least one version.
+func (s *Store) NumVertices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vertices)
+}
+
+// Apply executes one write operation stamped with the transaction
+// timestamp ts. Operations arrive pre-validated by the gatekeeper against
+// the backing store (§4.2), so failures here indicate an ordering bug; they
+// are returned for the shard to surface loudly.
+func (s *Store) Apply(op Op, ts core.Timestamp) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch := s.vertices[op.Vertex]; ch != nil && !ch.loadedAt.Zero() {
+		if cmp := ts.Compare(ch.loadedAt); cmp == core.Before || cmp == core.Equal {
+			// The chain was loaded from a record that already includes
+			// this write (records are written to the backing store
+			// before forwarding); re-applying would double it.
+			return nil
+		}
+	}
+	switch op.Kind {
+	case OpCreateVertex:
+		ch := s.vertices[op.Vertex]
+		if ch == nil {
+			ch = &chain{}
+			s.vertices[op.Vertex] = ch
+		}
+		if v := ch.latest(); v != nil && v.Deleted.Zero() {
+			return fmt.Errorf("graph: create_vertex %q: already exists", op.Vertex)
+		}
+		ch.incarnations = append(ch.incarnations, &Vertex{ID: op.Vertex, Created: ts, Out: make(map[EdgeID]*Edge)})
+	case OpDeleteVertex:
+		v := s.live(op.Vertex)
+		if v == nil {
+			return fmt.Errorf("graph: delete_vertex %q: not live", op.Vertex)
+		}
+		v.Deleted = ts
+		for _, e := range v.Out {
+			if e.Deleted.Zero() {
+				e.Deleted = ts
+			}
+		}
+	case OpCreateEdge:
+		v := s.live(op.Vertex)
+		if v == nil {
+			return fmt.Errorf("graph: create_edge on %q: vertex not live", op.Vertex)
+		}
+		if _, dup := v.Out[op.Edge]; dup {
+			return fmt.Errorf("graph: create_edge %q: duplicate edge id", op.Edge)
+		}
+		v.Out[op.Edge] = &Edge{ID: op.Edge, From: op.Vertex, To: op.To, Created: ts}
+	case OpDeleteEdge:
+		v := s.live(op.Vertex)
+		if v == nil {
+			return fmt.Errorf("graph: delete_edge on %q: vertex not live", op.Vertex)
+		}
+		e, ok := v.Out[op.Edge]
+		if !ok || !e.Deleted.Zero() {
+			return fmt.Errorf("graph: delete_edge %q: not live", op.Edge)
+		}
+		e.Deleted = ts
+	case OpSetVertexProp:
+		v := s.live(op.Vertex)
+		if v == nil {
+			return fmt.Errorf("graph: set_prop on %q: vertex not live", op.Vertex)
+		}
+		v.Props = setProp(v.Props, op.Key, op.Value, ts)
+	case OpDelVertexProp:
+		v := s.live(op.Vertex)
+		if v == nil {
+			return fmt.Errorf("graph: del_prop on %q: vertex not live", op.Vertex)
+		}
+		v.Props = delProp(v.Props, op.Key, ts)
+	case OpSetEdgeProp:
+		e, err := s.liveEdge(op.Vertex, op.Edge)
+		if err != nil {
+			return err
+		}
+		e.Props = setProp(e.Props, op.Key, op.Value, ts)
+	case OpDelEdgeProp:
+		e, err := s.liveEdge(op.Vertex, op.Edge)
+		if err != nil {
+			return err
+		}
+		e.Props = delProp(e.Props, op.Key, ts)
+	default:
+		return fmt.Errorf("graph: unknown op kind %v", op.Kind)
+	}
+	return nil
+}
+
+// live returns the currently-live incarnation of vid, or nil.
+func (s *Store) live(vid VertexID) *Vertex {
+	ch := s.vertices[vid]
+	if ch == nil {
+		return nil
+	}
+	v := ch.latest()
+	if v == nil || !v.Deleted.Zero() {
+		return nil
+	}
+	return v
+}
+
+func (s *Store) liveEdge(vid VertexID, eid EdgeID) (*Edge, error) {
+	v := s.live(vid)
+	if v == nil {
+		return nil, fmt.Errorf("graph: edge op on %q: vertex not live", vid)
+	}
+	e, ok := v.Out[eid]
+	if !ok || !e.Deleted.Zero() {
+		return nil, fmt.Errorf("graph: edge %q: not live", eid)
+	}
+	return e, nil
+}
+
+// setProp supersedes the live version of key (if any) at ts and appends the
+// new version.
+func setProp(props []Property, key, value string, ts core.Timestamp) []Property {
+	for i := range props {
+		if props[i].Key == key && props[i].Deleted.Zero() {
+			props[i].Deleted = ts
+		}
+	}
+	return append(props, Property{Key: key, Value: value, Created: ts})
+}
+
+func delProp(props []Property, key string, ts core.Timestamp) []Property {
+	for i := range props {
+		if props[i].Key == key && props[i].Deleted.Zero() {
+			props[i].Deleted = ts
+		}
+	}
+	return props
+}
+
+// Load installs a vertex recovered from the backing store (§4.3). The whole
+// record becomes visible at its last-update timestamp — older version
+// history is not reconstructed, which is safe because any operation that
+// could have observed it is re-executed with a fresh (later) timestamp
+// after recovery.
+func (s *Store) Load(rec *VertexRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := &Vertex{ID: rec.ID, Created: rec.LastTS, Out: make(map[EdgeID]*Edge, len(rec.Edges))}
+	for k, val := range rec.Props {
+		v.Props = append(v.Props, Property{Key: k, Value: val, Created: rec.LastTS})
+	}
+	for eid, er := range rec.Edges {
+		e := &Edge{ID: eid, From: rec.ID, To: er.To, Created: rec.LastTS}
+		for k, val := range er.Props {
+			e.Props = append(e.Props, Property{Key: k, Value: val, Created: rec.LastTS})
+		}
+		v.Out[eid] = e
+	}
+	s.vertices[rec.ID] = &chain{incarnations: []*Vertex{v}, loadedAt: rec.LastTS}
+}
+
+// maxTS returns the latest write timestamp anywhere in the chain.
+func (c *chain) maxTS() core.Timestamp {
+	var max core.Timestamp
+	upd := func(t core.Timestamp) {
+		if t.Zero() {
+			return
+		}
+		if max.Zero() || max.Compare(t) == core.Before {
+			max = t
+		}
+	}
+	for _, v := range c.incarnations {
+		upd(v.Created)
+		upd(v.Deleted)
+		for i := range v.Props {
+			upd(v.Props[i].Created)
+			upd(v.Props[i].Deleted)
+		}
+		for _, e := range v.Out {
+			upd(e.Created)
+			upd(e.Deleted)
+			for i := range e.Props {
+				upd(e.Props[i].Created)
+				upd(e.Props[i].Deleted)
+			}
+		}
+	}
+	return max
+}
+
+// EvictBefore drops up to limit whole vertex histories whose every write
+// happened strictly before the watermark — the paging-out half of demand
+// paging (§6.1). Such vertices are safe to drop: the backing store holds
+// their latest committed state, and every active or future reader's
+// timestamp is at or past the watermark, so paging the record back in at
+// its last-update timestamp reproduces exactly what those readers may see.
+// Returns the evicted vertex IDs.
+func (s *Store) EvictBefore(watermark core.Timestamp, limit int) []VertexID {
+	if limit <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []VertexID
+	for vid, ch := range s.vertices {
+		if len(out) >= limit {
+			break
+		}
+		if mt := ch.maxTS(); !mt.Zero() && mt.Compare(watermark) == core.Before {
+			delete(s.vertices, vid)
+			out = append(out, vid)
+		}
+	}
+	return out
+}
+
+// Has reports whether any version of the vertex is resident.
+func (s *Store) Has(id VertexID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.vertices[id]
+	return ok
+}
+
+// CollectBefore garbage-collects versions that ended strictly before the
+// watermark (§4.5): property and edge versions whose Deleted precedes it,
+// and vertex incarnations deleted before it. Returns the number of objects
+// removed.
+func (s *Store) CollectBefore(watermark core.Timestamp) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for vid, ch := range s.vertices {
+		kept := ch.incarnations[:0]
+		for _, v := range ch.incarnations {
+			if !v.Deleted.Zero() && v.Deleted.Compare(watermark) == core.Before {
+				removed += 1 + len(v.Out)
+				continue
+			}
+			v.Props, removed = gcProps(v.Props, watermark, removed)
+			for eid, e := range v.Out {
+				if !e.Deleted.Zero() && e.Deleted.Compare(watermark) == core.Before {
+					delete(v.Out, eid)
+					removed++
+					continue
+				}
+				e.Props, removed = gcProps(e.Props, watermark, removed)
+			}
+			kept = append(kept, v)
+		}
+		ch.incarnations = kept
+		if len(ch.incarnations) == 0 {
+			delete(s.vertices, vid)
+		}
+	}
+	return removed
+}
+
+func gcProps(props []Property, wm core.Timestamp, removed int) ([]Property, int) {
+	out := props[:0]
+	for _, p := range props {
+		if !p.Deleted.Zero() && p.Deleted.Compare(wm) == core.Before {
+			removed++
+			continue
+		}
+		out = append(out, p)
+	}
+	return out, removed
+}

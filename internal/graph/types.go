@@ -1,0 +1,127 @@
+// Package graph implements Weaver's multi-version property graph (§2.1,
+// §4.2): directed vertices and edges carrying named properties, where every
+// write marks the affected object with the refinable timestamp of its
+// transaction instead of mutating in place. Long-running node programs read
+// a consistent snapshot "as of" their own timestamp while transactional
+// writes proceed (§2.3), and historical queries read past versions (§4.5).
+//
+// The package is deliberately policy-free about ordering: readers supply a
+// Before predicate that decides whether a version's write timestamp
+// happens-before the reading timestamp. Shards build that predicate from
+// vector-clock comparison plus timeline-oracle refinement.
+package graph
+
+import (
+	"fmt"
+
+	"weaver/internal/core"
+)
+
+// VertexID names a vertex. Applications choose the format (e.g. "user/42").
+type VertexID string
+
+// EdgeID names an edge uniquely within the whole graph. Weaver derives it
+// from the creating transaction's timestamp ID plus an intra-transaction
+// index, so IDs are unique without global coordination.
+type EdgeID string
+
+// MakeEdgeID builds the canonical edge ID for the i-th edge created by the
+// transaction with timestamp identity tid.
+func MakeEdgeID(tid core.ID, i int) EdgeID {
+	return EdgeID(fmt.Sprintf("%s#%d", tid, i))
+}
+
+// OpKind enumerates graph write operations (§2.2).
+type OpKind uint8
+
+const (
+	// OpCreateVertex creates vertex Vertex.
+	OpCreateVertex OpKind = iota
+	// OpDeleteVertex deletes vertex Vertex.
+	OpDeleteVertex
+	// OpCreateEdge creates edge Edge from Vertex to To.
+	OpCreateEdge
+	// OpDeleteEdge deletes edge Edge owned by Vertex.
+	OpDeleteEdge
+	// OpSetVertexProp sets property Key=Value on Vertex.
+	OpSetVertexProp
+	// OpDelVertexProp removes property Key from Vertex.
+	OpDelVertexProp
+	// OpSetEdgeProp sets property Key=Value on edge Edge of Vertex.
+	OpSetEdgeProp
+	// OpDelEdgeProp removes property Key from edge Edge of Vertex.
+	OpDelEdgeProp
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreateVertex:
+		return "create_vertex"
+	case OpDeleteVertex:
+		return "delete_vertex"
+	case OpCreateEdge:
+		return "create_edge"
+	case OpDeleteEdge:
+		return "delete_edge"
+	case OpSetVertexProp:
+		return "set_vertex_prop"
+	case OpDelVertexProp:
+		return "del_vertex_prop"
+	case OpSetEdgeProp:
+		return "set_edge_prop"
+	case OpDelEdgeProp:
+		return "del_edge_prop"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is a single write operation inside a Weaver transaction. Vertex is
+// always the vertex whose shard executes the op (the owner of the edge for
+// edge operations).
+type Op struct {
+	Kind   OpKind
+	Vertex VertexID
+	Edge   EdgeID
+	To     VertexID
+	Key    string
+	Value  string
+}
+
+// EdgeRecord is the durable (backing-store) form of one out-edge.
+type EdgeRecord struct {
+	To    VertexID
+	Props map[string]string
+}
+
+// VertexRecord is the durable form of a vertex: its latest committed state,
+// the timestamp of its last update (checked by gatekeepers at commit time,
+// §4.2), and its home shard (the backing store doubles as the
+// vertex-to-shard directory, §3.2). Deleted records remain as tombstones so
+// the last-update timestamp survives deletion — a recreate must still order
+// after the delete.
+type VertexRecord struct {
+	ID      VertexID
+	Props   map[string]string
+	Edges   map[EdgeID]EdgeRecord
+	LastTS  core.Timestamp
+	Shard   int
+	Deleted bool
+}
+
+// NewVertexRecord returns an empty record for id homed on shard.
+func NewVertexRecord(id VertexID, shard int) *VertexRecord {
+	return &VertexRecord{
+		ID:    id,
+		Props: make(map[string]string),
+		Edges: make(map[EdgeID]EdgeRecord),
+		Shard: shard,
+	}
+}
+
+// Before reports whether the version written at w is visible to a reader
+// at some timestamp. Implementations must be consistent with the timeline
+// oracle's decisions: the same (w, reader) pair always yields the same
+// answer everywhere.
+type Before func(w core.Timestamp) bool

@@ -1,0 +1,130 @@
+package graph
+
+// View is a consistent read-only snapshot of the multi-version graph, as
+// seen by a reader whose visibility is decided by a Before predicate
+// (§4.1: node programs read exactly the versions whose write timestamps
+// happen-before the program's timestamp).
+type View struct {
+	s      *Store
+	before Before
+}
+
+// At returns a snapshot view using the given visibility predicate.
+func (s *Store) At(before Before) *View {
+	return &View{s: s, before: before}
+}
+
+// VertexView is a materialized, immutable snapshot of one vertex.
+type VertexView struct {
+	ID    VertexID
+	Props map[string]string
+	Edges []EdgeView
+}
+
+// EdgeView is a materialized snapshot of one live out-edge.
+type EdgeView struct {
+	ID    EdgeID
+	To    VertexID
+	Props map[string]string
+}
+
+// HasProp reports whether the edge carries the property key, with any
+// value if want is empty, or the exact value otherwise. Mirrors the
+// edge.check(edge_prop) call in the paper's BFS node program (Fig 3).
+func (e EdgeView) HasProp(key, want string) bool {
+	v, ok := e.Props[key]
+	if !ok {
+		return false
+	}
+	return want == "" || v == want
+}
+
+// visibleIncarnation returns the incarnation of id alive in this view, or
+// nil. Incarnation lifetimes are disjoint, so at most one matches.
+func (w *View) visibleIncarnation(id VertexID) *Vertex {
+	ch := w.s.vertices[id]
+	if ch == nil {
+		return nil
+	}
+	for i := len(ch.incarnations) - 1; i >= 0; i-- {
+		v := ch.incarnations[i]
+		if w.vertexAlive(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// Exists reports whether the vertex is visible in this view.
+func (w *View) Exists(id VertexID) bool {
+	w.s.mu.RLock()
+	defer w.s.mu.RUnlock()
+	return w.visibleIncarnation(id) != nil
+}
+
+func (w *View) vertexAlive(v *Vertex) bool {
+	if !w.before(v.Created) {
+		return false
+	}
+	return v.Deleted.Zero() || !w.before(v.Deleted)
+}
+
+func (w *View) edgeAlive(e *Edge) bool {
+	if !w.before(e.Created) {
+		return false
+	}
+	return e.Deleted.Zero() || !w.before(e.Deleted)
+}
+
+func (w *View) visibleProps(props []Property) map[string]string {
+	m := make(map[string]string)
+	for i := range props {
+		p := &props[i]
+		if !w.before(p.Created) {
+			continue
+		}
+		if !p.Deleted.Zero() && w.before(p.Deleted) {
+			continue
+		}
+		m[p.Key] = p.Value
+	}
+	return m
+}
+
+// Vertex materializes the visible state of id: its live properties and live
+// out-edges with their properties. Returns ok=false if the vertex is not
+// visible in this view.
+func (w *View) Vertex(id VertexID) (*VertexView, bool) {
+	w.s.mu.RLock()
+	defer w.s.mu.RUnlock()
+	v := w.visibleIncarnation(id)
+	if v == nil {
+		return nil, false
+	}
+	vv := &VertexView{ID: id, Props: w.visibleProps(v.Props)}
+	for _, e := range v.Out {
+		if !w.edgeAlive(e) {
+			continue
+		}
+		vv.Edges = append(vv.Edges, EdgeView{ID: e.ID, To: e.To, Props: w.visibleProps(e.Props)})
+	}
+	return vv, true
+}
+
+// CountEdges returns the number of live out-edges of id without
+// materializing them (the TAO count_edges operation).
+func (w *View) CountEdges(id VertexID) (int, bool) {
+	w.s.mu.RLock()
+	defer w.s.mu.RUnlock()
+	v := w.visibleIncarnation(id)
+	if v == nil {
+		return 0, false
+	}
+	n := 0
+	for _, e := range v.Out {
+		if w.edgeAlive(e) {
+			n++
+		}
+	}
+	return n, true
+}

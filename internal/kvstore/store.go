@@ -1,0 +1,394 @@
+// Package kvstore implements Weaver's backing store (§3.2): a transactional
+// key-value store standing in for HyperDex Warp [21]. It provides
+// linearizable multi-key ACID transactions with optimistic concurrency
+// control: transactions buffer writes, record the version of every key they
+// read, and validate at commit under per-bucket locks taken in a fixed
+// order (a simplification of Warp's acyclic-transactions protocol that
+// preserves its contract: serializable multi-key transactions that abort
+// when a concurrent transaction modified data read by this one).
+//
+// The store plays two roles in Weaver (§3.2): durable, fault-tolerant home
+// of the graph data (vertices, edges, properties, per-vertex last-update
+// timestamps), and directory mapping each vertex to its shard server. An
+// optional write-ahead log provides durability across process restarts.
+//
+// Deleted keys leave tombstones so that per-key versions are monotonic for
+// the lifetime of the store; without them a delete+recreate pair could
+// reset a version and let a stale reader pass validation (ABA).
+package kvstore
+
+import (
+	"errors"
+	"hash/maphash"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is returned by Tx.Commit when validation fails because a key
+// in the read set was modified by a concurrently committed transaction.
+var ErrConflict = errors.New("kvstore: transaction conflict")
+
+// ErrTxDone is returned when a finished transaction is reused.
+var ErrTxDone = errors.New("kvstore: transaction already finished")
+
+const numBuckets = 64
+
+type entry struct {
+	value   []byte
+	version uint64
+	dead    bool // tombstone: key deleted, version preserved
+}
+
+type bucket struct {
+	mu    sync.RWMutex
+	items map[string]entry
+}
+
+// Stats counts store activity.
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	Conflicts uint64
+	Gets      uint64
+	Keys      int // live (non-tombstone) keys
+}
+
+// Store is a sharded in-memory transactional KV store with optional WAL.
+type Store struct {
+	buckets [numBuckets]bucket
+	seed    maphash.Seed
+	wal     *WAL
+
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	conflicts atomic.Uint64
+	gets      atomic.Uint64
+}
+
+// New returns an empty store with no durability.
+func New() *Store {
+	s := &Store{seed: maphash.MakeSeed()}
+	for i := range s.buckets {
+		s.buckets[i].items = make(map[string]entry)
+	}
+	return s
+}
+
+// NewDurable returns a store that logs committed transactions to the WAL at
+// path, first replaying any existing log into memory.
+func NewDurable(path string) (*Store, error) {
+	s := New()
+	w, err := OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Replay(func(rec Record) {
+		s.applyUnsynchronized(rec.Writes, rec.Deletes)
+	}); err != nil {
+		w.Close()
+		return nil, err
+	}
+	s.wal = w
+	return s, nil
+}
+
+// Close releases the WAL, if any.
+func (s *Store) Close() error {
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+func (s *Store) bucketIdx(key string) int {
+	var h maphash.Hash
+	h.SetSeed(s.seed)
+	h.WriteString(key)
+	return int(h.Sum64() % numBuckets)
+}
+
+func (s *Store) bucketOf(key string) *bucket { return &s.buckets[s.bucketIdx(key)] }
+
+// Get returns the current value of key outside any transaction.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.gets.Add(1)
+	b := s.bucketOf(key)
+	b.mu.RLock()
+	e, ok := b.items[key]
+	b.mu.RUnlock()
+	if !ok || e.dead {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// GetVersioned returns the current value of key and its version. Versions
+// increase monotonically per key (including through deletions); callers use
+// them for optimistic validation across separate transactions, e.g. Weaver
+// clients record versions at read time and gatekeepers re-validate them at
+// commit time.
+func (s *Store) GetVersioned(key string) (value []byte, version uint64, ok bool) {
+	s.gets.Add(1)
+	b := s.bucketOf(key)
+	b.mu.RLock()
+	e, found := b.items[key]
+	b.mu.RUnlock()
+	if !found || e.dead {
+		return nil, e.version, false
+	}
+	return e.value, e.version, true
+}
+
+// Put sets key to value as a single-key transaction.
+func (s *Store) Put(key string, value []byte) {
+	b := s.bucketOf(key)
+	b.mu.Lock()
+	e := b.items[key]
+	b.items[key] = entry{value: value, version: e.version + 1}
+	b.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Append(Record{Writes: map[string][]byte{key: value}})
+	}
+	s.commits.Add(1)
+}
+
+// Delete removes key as a single-key transaction, leaving a tombstone.
+func (s *Store) Delete(key string) {
+	b := s.bucketOf(key)
+	b.mu.Lock()
+	e := b.items[key]
+	b.items[key] = entry{version: e.version + 1, dead: true}
+	b.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Append(Record{Deletes: []string{key}})
+	}
+	s.commits.Add(1)
+}
+
+// applyUnsynchronized applies writes and deletes bypassing concurrency
+// control; only for WAL replay before the store is shared.
+func (s *Store) applyUnsynchronized(writes map[string][]byte, deletes []string) {
+	for k, v := range writes {
+		b := s.bucketOf(k)
+		e := b.items[k]
+		b.items[k] = entry{value: v, version: e.version + 1}
+	}
+	for _, k := range deletes {
+		b := s.bucketOf(k)
+		e := b.items[k]
+		b.items[k] = entry{version: e.version + 1, dead: true}
+	}
+}
+
+// Stats returns a snapshot of store activity counters.
+func (s *Store) Stats() Stats {
+	n := 0
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		b.mu.RLock()
+		for _, e := range b.items {
+			if !e.dead {
+				n++
+			}
+		}
+		b.mu.RUnlock()
+	}
+	return Stats{
+		Commits:   s.commits.Load(),
+		Aborts:    s.aborts.Load(),
+		Conflicts: s.conflicts.Load(),
+		Gets:      s.gets.Load(),
+		Keys:      n,
+	}
+}
+
+// ScanPrefix calls fn for every live key with the given prefix. The scan
+// holds one bucket read-lock at a time; it is consistent only when
+// concurrent writers are quiesced (Weaver calls it during recovery, behind
+// the cluster manager's epoch barrier, §4.3). fn must not call back into
+// the store.
+func (s *Store) ScanPrefix(prefix string, fn func(key string, value []byte)) {
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		b.mu.RLock()
+		for k, e := range b.items {
+			if !e.dead && strings.HasPrefix(k, prefix) {
+				fn(k, e.value)
+			}
+		}
+		b.mu.RUnlock()
+	}
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx {
+	return &Tx{
+		s:      s,
+		reads:  make(map[string]uint64),
+		writes: make(map[string][]byte),
+		dels:   make(map[string]struct{}),
+	}
+}
+
+// Tx is an optimistic multi-key transaction. Not safe for concurrent use.
+type Tx struct {
+	s      *Store
+	reads  map[string]uint64
+	writes map[string][]byte
+	dels   map[string]struct{}
+	done   bool
+}
+
+// Get reads key within the transaction: buffered writes are visible
+// (read-your-writes); otherwise the committed value is returned and the
+// observed version recorded for commit-time validation. The first observed
+// version wins, so a key that changes between two reads of the same
+// transaction fails validation.
+func (t *Tx) Get(key string) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxDone
+	}
+	if _, del := t.dels[key]; del {
+		return nil, false, nil
+	}
+	if v, ok := t.writes[key]; ok {
+		return v, true, nil
+	}
+	t.s.gets.Add(1)
+	b := t.s.bucketOf(key)
+	b.mu.RLock()
+	e := b.items[key]
+	b.mu.RUnlock()
+	if _, seen := t.reads[key]; !seen {
+		t.reads[key] = e.version
+	}
+	if e.dead || e.version == 0 {
+		return nil, false, nil
+	}
+	return e.value, true, nil
+}
+
+// GetVersioned is Get plus the committed version observed (0 when the key
+// has never existed; buffered tx-local writes report version 0 with the
+// buffered value). The read is recorded for validation like Get.
+func (t *Tx) GetVersioned(key string) (value []byte, version uint64, ok bool, err error) {
+	if t.done {
+		return nil, 0, false, ErrTxDone
+	}
+	if _, del := t.dels[key]; del {
+		return nil, 0, false, nil
+	}
+	if v, buffered := t.writes[key]; buffered {
+		return v, 0, true, nil
+	}
+	t.s.gets.Add(1)
+	b := t.s.bucketOf(key)
+	b.mu.RLock()
+	e := b.items[key]
+	b.mu.RUnlock()
+	if _, seen := t.reads[key]; !seen {
+		t.reads[key] = e.version
+	}
+	if e.dead || e.version == 0 {
+		return nil, e.version, false, nil
+	}
+	return e.value, e.version, true, nil
+}
+
+// Put buffers a write of key.
+func (t *Tx) Put(key string, value []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	delete(t.dels, key)
+	t.writes[key] = value
+	return nil
+}
+
+// Delete buffers a deletion of key.
+func (t *Tx) Delete(key string) error {
+	if t.done {
+		return ErrTxDone
+	}
+	delete(t.writes, key)
+	t.dels[key] = struct{}{}
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Tx) Abort() {
+	if !t.done {
+		t.done = true
+		t.s.aborts.Add(1)
+	}
+}
+
+// Commit validates the read set and atomically applies the write set.
+// On conflict it returns ErrConflict and the transaction is finished; the
+// caller retries with a fresh transaction (and, in Weaver's gatekeeper, a
+// fresh timestamp, §4.2).
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+
+	// Lock every involved bucket in index order to avoid deadlock with
+	// concurrent committers.
+	var need [numBuckets]bool
+	for k := range t.reads {
+		need[t.s.bucketIdx(k)] = true
+	}
+	for k := range t.writes {
+		need[t.s.bucketIdx(k)] = true
+	}
+	for k := range t.dels {
+		need[t.s.bucketIdx(k)] = true
+	}
+	var locked []*bucket
+	for i := range need {
+		if need[i] {
+			b := &t.s.buckets[i]
+			b.mu.Lock()
+			locked = append(locked, b)
+		}
+	}
+	defer func() {
+		for _, b := range locked {
+			b.mu.Unlock()
+		}
+	}()
+
+	// Validate: every read version must still be current.
+	for k, ver := range t.reads {
+		if t.s.bucketOf(k).items[k].version != ver {
+			t.s.conflicts.Add(1)
+			t.s.aborts.Add(1)
+			return ErrConflict
+		}
+	}
+
+	// Apply.
+	for k, v := range t.writes {
+		b := t.s.bucketOf(k)
+		e := b.items[k]
+		b.items[k] = entry{value: v, version: e.version + 1}
+	}
+	var delList []string
+	for k := range t.dels {
+		b := t.s.bucketOf(k)
+		e := b.items[k]
+		if e.version != 0 && !e.dead {
+			delList = append(delList, k)
+		}
+		b.items[k] = entry{version: e.version + 1, dead: true}
+	}
+	if t.s.wal != nil && (len(t.writes) > 0 || len(delList) > 0) {
+		sort.Strings(delList)
+		t.s.wal.Append(Record{Writes: t.writes, Deletes: delList})
+	}
+	t.s.commits.Add(1)
+	return nil
+}

@@ -1,0 +1,78 @@
+package kvstore
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one committed transaction in the write-ahead log.
+type Record struct {
+	Writes  map[string][]byte
+	Deletes []string
+}
+
+// WAL is an append-only gob-encoded log of committed transactions. It
+// provides the durability half of the backing store's fault-tolerance
+// contract (§4.3): a restarted store replays the log to recover all
+// committed state.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	enc  *gob.Encoder
+	path string
+}
+
+// OpenWAL opens (or creates) the log at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, enc: gob.NewEncoder(f), path: path}, nil
+}
+
+// Replay streams every record currently in the log to fn, in commit order.
+// Must be called before Append (i.e., before the store is shared).
+func (w *WAL) Replay(fn func(Record)) error {
+	f, err := os.Open(w.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			// A torn tail write is expected after a crash: recover
+			// everything up to the corruption point.
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		fn(rec)
+	}
+}
+
+// Append writes one committed transaction to the log and syncs it.
+func (w *WAL) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(rec); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -1,0 +1,127 @@
+package oracle
+
+import (
+	"fmt"
+
+	"weaver/internal/chainrep"
+	"weaver/internal/core"
+)
+
+// Replicated is a chain-replicated timeline oracle (§3.4: "the service is
+// essentially a state machine that is chain replicated for fault
+// tolerance"). Ordering decisions (QueryOrder, AssignOrder) and garbage
+// collection are updates flowing head→tail; Ordered and Stats are reads
+// served by any replica, because decisions are monotonic — a replica can
+// answer Concurrent only if the pair is undecided everywhere at that
+// moment, and established orders never change.
+type Replicated struct {
+	chain *chainrep.Chain
+}
+
+type cmdQueryOrder struct {
+	A, B   Event
+	Prefer core.Order
+}
+
+type cmdAssignOrder struct {
+	First, Second Event
+}
+
+type cmdGC struct {
+	Watermark core.Timestamp
+}
+
+type qOrdered struct {
+	A, B Event
+}
+
+type qStats struct{}
+
+// dagSM adapts DAG to the chainrep state machine interface.
+type dagSM struct {
+	d *DAG
+}
+
+// Apply implements chainrep.StateMachine.
+func (s *dagSM) Apply(cmd any) any {
+	switch c := cmd.(type) {
+	case cmdQueryOrder:
+		return s.d.QueryOrder(c.A, c.B, c.Prefer)
+	case cmdAssignOrder:
+		return s.d.AssignOrder(c.First, c.Second)
+	case cmdGC:
+		return s.d.GC(c.Watermark)
+	default:
+		return fmt.Errorf("oracle: unknown command %T", cmd)
+	}
+}
+
+// Query implements chainrep.StateMachine.
+func (s *dagSM) Query(q any) any {
+	switch qq := q.(type) {
+	case qOrdered:
+		return s.d.Ordered(qq.A, qq.B)
+	case qStats:
+		return s.d.Stats()
+	default:
+		return fmt.Errorf("oracle: unknown query %T", q)
+	}
+}
+
+// NewReplicated builds an oracle replicated across n chain replicas.
+func NewReplicated(n int) *Replicated {
+	return &Replicated{chain: chainrep.New(n, func() chainrep.StateMachine {
+		return &dagSM{d: NewDAG()}
+	})}
+}
+
+// Chain exposes the underlying chain for failure injection in tests.
+func (r *Replicated) Chain() *chainrep.Chain { return r.chain }
+
+// QueryOrder implements Client.
+func (r *Replicated) QueryOrder(a, b Event, prefer core.Order) (core.Order, error) {
+	out, err := r.chain.Update(cmdQueryOrder{A: a, B: b, Prefer: prefer})
+	if err != nil {
+		return core.Concurrent, err
+	}
+	return out.(core.Order), nil
+}
+
+// Ordered implements Client.
+func (r *Replicated) Ordered(a, b Event) (core.Order, error) {
+	out, err := r.chain.Query(qOrdered{A: a, B: b}, 1.0)
+	if err != nil {
+		return core.Concurrent, err
+	}
+	return out.(core.Order), nil
+}
+
+// AssignOrder implements Client.
+func (r *Replicated) AssignOrder(first, second Event) error {
+	out, err := r.chain.Update(cmdAssignOrder{First: first, Second: second})
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if e, ok := out.(error); ok {
+		return e
+	}
+	return nil
+}
+
+// GC implements Client.
+func (r *Replicated) GC(watermark core.Timestamp) error {
+	_, err := r.chain.Update(cmdGC{Watermark: watermark})
+	return err
+}
+
+// Stats implements Client.
+func (r *Replicated) Stats() Stats {
+	out, err := r.chain.Query(qStats{}, 1.0)
+	if err != nil {
+		return Stats{}
+	}
+	return out.(Stats)
+}

@@ -1,0 +1,165 @@
+// Package partition implements Weaver's graph partitioning (§3.2, §4.6):
+// the assignment of vertices to shard servers. The default is stateless
+// hash partitioning. An LDG (Linear Deterministic Greedy) streaming
+// partitioner [58, 48] is provided for locality-aware placement: it assigns
+// each arriving vertex to the shard holding most of its neighbors, subject
+// to a capacity penalty. The paper evaluates Weaver with locality-aware
+// placement disabled (§4.6); this repo benchmarks it as an ablation.
+package partition
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"weaver/internal/graph"
+)
+
+// Directory resolves the home shard of a vertex. Implementations must be
+// consistent across every server in the cluster.
+type Directory interface {
+	// Lookup returns the shard index owning v.
+	Lookup(v graph.VertexID) int
+	// N returns the number of shards.
+	N() int
+}
+
+// Hash is the default stateless directory: shard = fnv64(v) mod n.
+type Hash struct {
+	n int
+}
+
+// NewHash returns a hash directory over n shards.
+func NewHash(n int) *Hash {
+	if n <= 0 {
+		panic("partition: need at least one shard")
+	}
+	return &Hash{n: n}
+}
+
+// Lookup implements Directory.
+func (h *Hash) Lookup(v graph.VertexID) int {
+	f := fnv.New64a()
+	f.Write([]byte(v))
+	return int(f.Sum64() % uint64(h.n))
+}
+
+// N implements Directory.
+func (h *Hash) N() int { return h.n }
+
+// Mapped is an explicit vertex→shard table with a fallback for unknown
+// vertices. It backs LDG placements and vertex migration: entries are
+// written at load time (or on migration) and must be distributed to every
+// server before use.
+type Mapped struct {
+	mu       sync.RWMutex
+	table    map[graph.VertexID]int
+	fallback Directory
+}
+
+// NewMapped returns an empty mapped directory with the given fallback.
+func NewMapped(fallback Directory) *Mapped {
+	return &Mapped{table: make(map[graph.VertexID]int), fallback: fallback}
+}
+
+// Assign pins v to shard.
+func (m *Mapped) Assign(v graph.VertexID, shard int) {
+	m.mu.Lock()
+	m.table[v] = shard
+	m.mu.Unlock()
+}
+
+// Lookup implements Directory.
+func (m *Mapped) Lookup(v graph.VertexID) int {
+	m.mu.RLock()
+	s, ok := m.table[v]
+	m.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return m.fallback.Lookup(v)
+}
+
+// N implements Directory.
+func (m *Mapped) N() int { return m.fallback.N() }
+
+// LDG is the Linear Deterministic Greedy streaming partitioner: vertices
+// arrive one at a time with their (currently known) neighbor lists, and
+// each is placed on the shard maximizing |neighbors already there| × (1 −
+// load/capacity). Ties break toward the least-loaded shard, making the
+// stream deterministic.
+type LDG struct {
+	n        int
+	capacity float64
+	load     []int
+	placed   map[graph.VertexID]int
+}
+
+// NewLDG returns a partitioner for n shards expecting approximately
+// expectedVertices placements, with a slack factor (e.g. 0.1 allows each
+// shard to hold 10% above the balanced share).
+func NewLDG(n int, expectedVertices int, slack float64) *LDG {
+	if n <= 0 {
+		panic("partition: need at least one shard")
+	}
+	cap := (1.0 + slack) * float64(expectedVertices) / float64(n)
+	if cap < 1 {
+		cap = 1
+	}
+	return &LDG{n: n, capacity: cap, load: make([]int, n), placed: make(map[graph.VertexID]int)}
+}
+
+// Place assigns v given its neighbor list, returning the chosen shard.
+// Re-placing a vertex returns its existing assignment.
+func (l *LDG) Place(v graph.VertexID, neighbors []graph.VertexID) int {
+	if s, ok := l.placed[v]; ok {
+		return s
+	}
+	counts := make([]int, l.n)
+	for _, nb := range neighbors {
+		if s, ok := l.placed[nb]; ok {
+			counts[s]++
+		}
+	}
+	best, bestScore := 0, -1.0
+	for s := 0; s < l.n; s++ {
+		penalty := 1.0 - float64(l.load[s])/l.capacity
+		if penalty < 0 {
+			penalty = 0
+		}
+		score := float64(counts[s]) * penalty
+		if score > bestScore || (score == bestScore && l.load[s] < l.load[best]) {
+			best, bestScore = s, score
+		}
+	}
+	l.placed[v] = best
+	l.load[best]++
+	return best
+}
+
+// Loads returns the per-shard vertex counts.
+func (l *LDG) Loads() []int {
+	out := make([]int, len(l.load))
+	copy(out, l.load)
+	return out
+}
+
+// Assignments copies the placement table into a Mapped directory.
+func (l *LDG) Assignments(fallback Directory) *Mapped {
+	m := NewMapped(fallback)
+	for v, s := range l.placed {
+		m.Assign(v, s)
+	}
+	return m
+}
+
+// EdgeCut counts edges whose endpoints land on different shards under dir —
+// the quality metric for partitioners (lower is better).
+func EdgeCut(dir Directory, edges [][2]graph.VertexID) int {
+	cut := 0
+	for _, e := range edges {
+		if dir.Lookup(e[0]) != dir.Lookup(e[1]) {
+			cut++
+		}
+	}
+	return cut
+}

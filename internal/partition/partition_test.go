@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"weaver/internal/graph"
+	"weaver/internal/workload"
+)
+
+func TestHashDeterministicAndInRange(t *testing.T) {
+	h := NewHash(5)
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for i := 0; i < 1000; i++ {
+		v := graph.VertexID(fmt.Sprintf("v%d", i))
+		s := h.Lookup(v)
+		if s < 0 || s >= 5 {
+			t.Fatalf("out of range: %d", s)
+		}
+		if s != h.Lookup(v) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestHashBalance(t *testing.T) {
+	h := NewHash(4)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[h.Lookup(graph.VertexID(fmt.Sprintf("v%d", i)))]++
+	}
+	for s, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("shard %d has %d of 40000 (imbalanced)", s, c)
+		}
+	}
+}
+
+func TestHashPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHash(0)
+}
+
+func TestMappedDirectory(t *testing.T) {
+	m := NewMapped(NewHash(3))
+	if m.N() != 3 {
+		t.Fatalf("N = %d", m.N())
+	}
+	def := m.Lookup("v")
+	m.Assign("v", (def+1)%3)
+	if m.Lookup("v") == def {
+		t.Fatal("assignment ignored")
+	}
+	if m.Lookup("other") != NewHash(3).Lookup("other") {
+		t.Fatal("fallback broken")
+	}
+}
+
+func TestLDGBalanceBound(t *testing.T) {
+	const n, shards = 3000, 4
+	l := NewLDG(shards, n, 0.1)
+	g := workload.Social(n, 4, 5)
+	for _, v := range g.Vertices {
+		l.Place(v, g.Out[v])
+	}
+	loads := l.Loads()
+	nf, sf := float64(n), float64(shards)
+	capacity := int(1.1*nf/sf) + 1
+	total := 0
+	for s, ld := range loads {
+		total += ld
+		// LDG soft-caps via the penalty; allow modest overflow.
+		if ld > capacity*2 {
+			t.Fatalf("shard %d load %d far exceeds capacity %d", s, ld, capacity)
+		}
+	}
+	if total != n {
+		t.Fatalf("placed %d of %d", total, n)
+	}
+}
+
+func TestLDGBeatsHashOnClusteredGraph(t *testing.T) {
+	// Build a graph of dense 32-vertex cliques with few cross-links: LDG
+	// should colocate cliques and cut far fewer edges than hashing.
+	const cliques, size, shards = 32, 32, 4
+	var edges [][2]graph.VertexID
+	adj := map[graph.VertexID][]graph.VertexID{}
+	vid := func(c, i int) graph.VertexID { return graph.VertexID(fmt.Sprintf("c%d/v%d", c, i)) }
+	for c := 0; c < cliques; c++ {
+		for i := 0; i < size; i++ {
+			for j := 0; j < 4; j++ {
+				from, to := vid(c, i), vid(c, (i+j+1)%size)
+				edges = append(edges, [2]graph.VertexID{from, to})
+				adj[from] = append(adj[from], to)
+				adj[to] = append(adj[to], from)
+			}
+		}
+	}
+	l := NewLDG(shards, cliques*size, 0.2)
+	for c := 0; c < cliques; c++ {
+		for i := 0; i < size; i++ {
+			l.Place(vid(c, i), adj[vid(c, i)])
+		}
+	}
+	ldgCut := EdgeCut(l.Assignments(NewHash(shards)), edges)
+	hashCut := EdgeCut(NewHash(shards), edges)
+	if ldgCut*2 > hashCut {
+		t.Fatalf("LDG cut %d not clearly better than hash cut %d", ldgCut, hashCut)
+	}
+}
+
+func TestLDGRePlaceStable(t *testing.T) {
+	l := NewLDG(2, 10, 0.1)
+	s1 := l.Place("v", nil)
+	s2 := l.Place("v", []graph.VertexID{"a", "b"})
+	if s1 != s2 {
+		t.Fatal("re-placement must return original shard")
+	}
+	if got := l.Loads()[s1]; got != 1 {
+		t.Fatalf("load double-counted: %d", got)
+	}
+}

@@ -1,0 +1,282 @@
+// Package paxos implements multi-decree Paxos [37]: a replicated log where
+// each slot is decided by single-decree Paxos (prepare/promise,
+// accept/accepted). Weaver's cluster manager is a Paxos-replicated state
+// machine (§4.3): configuration changes — epoch bumps, membership — are
+// proposed as log entries, so a majority of manager replicas always agrees
+// on the cluster's epoch history.
+//
+// The implementation favors auditability: explicit ballot numbers,
+// per-slot acceptor state, and an injectable peer layer that tests use to
+// drop messages and race proposers. Safety (at most one value chosen per
+// slot) holds under any message loss and any number of concurrent
+// proposers; liveness requires a majority reachable and eventual proposer
+// backoff, provided by Propose's retry loop.
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Ballot orders proposal attempts; ties break by proposer ID.
+type Ballot struct {
+	N        uint64
+	Proposer int
+}
+
+// Less reports ballot order.
+func (b Ballot) Less(o Ballot) bool {
+	if b.N != o.N {
+		return b.N < o.N
+	}
+	return b.Proposer < o.Proposer
+}
+
+// Zero reports whether the ballot is unset.
+func (b Ballot) Zero() bool { return b.N == 0 }
+
+// slotState is one slot's acceptor state.
+type slotState struct {
+	promised Ballot
+	accepted Ballot
+	value    any
+	hasValue bool
+}
+
+// Acceptor is the durable voting role of one replica.
+type Acceptor struct {
+	mu    sync.Mutex
+	slots map[uint64]*slotState
+	// down simulates a crashed acceptor (tests).
+	down bool
+}
+
+// NewAcceptor returns an empty acceptor.
+func NewAcceptor() *Acceptor {
+	return &Acceptor{slots: make(map[uint64]*slotState)}
+}
+
+// SetDown marks the acceptor unreachable (tests/failure injection).
+func (a *Acceptor) SetDown(down bool) {
+	a.mu.Lock()
+	a.down = down
+	a.mu.Unlock()
+}
+
+func (a *Acceptor) slot(s uint64) *slotState {
+	st, ok := a.slots[s]
+	if !ok {
+		st = &slotState{}
+		a.slots[s] = st
+	}
+	return st
+}
+
+// Promise is the phase-1 response.
+type Promise struct {
+	OK       bool
+	Accepted Ballot
+	Value    any
+	HasValue bool
+}
+
+// Prepare handles phase 1: promise not to accept ballots below b.
+func (a *Acceptor) Prepare(slot uint64, b Ballot) (Promise, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return Promise{}, errors.New("paxos: acceptor down")
+	}
+	st := a.slot(slot)
+	if b.Less(st.promised) {
+		return Promise{OK: false}, nil
+	}
+	st.promised = b
+	return Promise{OK: true, Accepted: st.accepted, Value: st.value, HasValue: st.hasValue}, nil
+}
+
+// Accept handles phase 2: accept value v at ballot b unless a higher
+// ballot was promised.
+func (a *Acceptor) Accept(slot uint64, b Ballot, v any) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return false, errors.New("paxos: acceptor down")
+	}
+	st := a.slot(slot)
+	if b.Less(st.promised) {
+		return false, nil
+	}
+	st.promised = b
+	st.accepted = b
+	st.value = v
+	st.hasValue = true
+	return true, nil
+}
+
+// Proposer drives consensus for one replica.
+type Proposer struct {
+	id        int
+	acceptors []*Acceptor
+	mu        sync.Mutex
+	lastN     uint64
+	rng       *rand.Rand
+}
+
+// NewProposer returns a proposer with the given unique ID over the
+// acceptor set.
+func NewProposer(id int, acceptors []*Acceptor) *Proposer {
+	return &Proposer{id: id, acceptors: acceptors, rng: rand.New(rand.NewSource(int64(id) + 7))}
+}
+
+// ErrNoQuorum is returned when a majority of acceptors is unreachable.
+var ErrNoQuorum = errors.New("paxos: no quorum")
+
+// Propose drives slot to a decision, preferring v but adopting any
+// previously accepted value (the Paxos invariant). Returns the chosen
+// value. Retries with higher ballots under contention, with jittered
+// backoff, up to maxTries.
+func (p *Proposer) Propose(slot uint64, v any, maxTries int) (any, error) {
+	if maxTries <= 0 {
+		maxTries = 32
+	}
+	for try := 0; try < maxTries; try++ {
+		chosen, err := p.attempt(slot, v)
+		if err == nil {
+			return chosen, nil
+		}
+		if errors.Is(err, ErrNoQuorum) {
+			return nil, err
+		}
+		p.mu.Lock()
+		backoff := time.Duration(p.rng.Intn(200)+50) * time.Microsecond << uint(min(try, 6))
+		p.mu.Unlock()
+		time.Sleep(backoff)
+	}
+	return nil, fmt.Errorf("paxos: slot %d not decided after %d attempts", slot, maxTries)
+}
+
+var errPreempted = errors.New("paxos: preempted by higher ballot")
+
+func (p *Proposer) attempt(slot uint64, v any) (any, error) {
+	p.mu.Lock()
+	p.lastN++
+	b := Ballot{N: p.lastN, Proposer: p.id}
+	p.mu.Unlock()
+
+	// Phase 1: prepare.
+	quorum := len(p.acceptors)/2 + 1
+	promises := 0
+	reachable := 0
+	var best Promise
+	for _, a := range p.acceptors {
+		pr, err := a.Prepare(slot, b)
+		if err != nil {
+			continue
+		}
+		reachable++
+		if !pr.OK {
+			continue
+		}
+		promises++
+		if pr.HasValue && (best.Accepted.Less(pr.Accepted) || !best.HasValue) {
+			best = pr
+		}
+	}
+	if reachable < quorum {
+		return nil, ErrNoQuorum
+	}
+	if promises < quorum {
+		p.observeContention()
+		return nil, errPreempted
+	}
+	value := v
+	if best.HasValue {
+		value = best.Value // must adopt the possibly-chosen value
+	}
+
+	// Phase 2: accept.
+	accepts := 0
+	reachable = 0
+	for _, a := range p.acceptors {
+		ok, err := a.Accept(slot, b, value)
+		if err != nil {
+			continue
+		}
+		reachable++
+		if ok {
+			accepts++
+		}
+	}
+	if reachable < quorum {
+		return nil, ErrNoQuorum
+	}
+	if accepts < quorum {
+		p.observeContention()
+		return nil, errPreempted
+	}
+	return value, nil
+}
+
+// observeContention bumps the ballot base past likely competitors.
+func (p *Proposer) observeContention() {
+	p.mu.Lock()
+	p.lastN += uint64(p.rng.Intn(3) + 1)
+	p.mu.Unlock()
+}
+
+// Log is a replicated log driven by one local proposer: a convenience
+// wrapper giving the cluster manager sequential slot semantics.
+type Log struct {
+	p    *Proposer
+	mu   sync.Mutex
+	next uint64
+	log  map[uint64]any
+}
+
+// NewLog returns a log over the proposer.
+func NewLog(p *Proposer) *Log {
+	return &Log{p: p, next: 1, log: make(map[uint64]any)}
+}
+
+// Append proposes v for the next free slot, filling learned slots along the
+// way; returns the slot where v (exactly v, not an adopted value) landed.
+func (l *Log) Append(v any) (uint64, error) {
+	for {
+		l.mu.Lock()
+		slot := l.next
+		l.mu.Unlock()
+		chosen, err := l.p.Propose(slot, v, 0)
+		if err != nil {
+			return 0, err
+		}
+		l.mu.Lock()
+		l.log[slot] = chosen
+		if slot >= l.next {
+			l.next = slot + 1
+		}
+		l.mu.Unlock()
+		if chosen == v || fmt.Sprintf("%v", chosen) == fmt.Sprintf("%v", v) {
+			return slot, nil
+		}
+		// Slot was already taken by another proposer's value; move on.
+	}
+}
+
+// Get returns the locally learned value for slot.
+func (l *Log) Get(slot uint64) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.log[slot]
+	return v, ok
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+package paxos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func acceptors(n int) []*Acceptor {
+	out := make([]*Acceptor, n)
+	for i := range out {
+		out[i] = NewAcceptor()
+	}
+	return out
+}
+
+func TestSingleProposerDecides(t *testing.T) {
+	acc := acceptors(3)
+	p := NewProposer(0, acc)
+	v, err := p.Propose(1, "hello", 0)
+	if err != nil || v != "hello" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	// Re-proposing a different value for the same slot must adopt the
+	// chosen one.
+	v, err = p.Propose(1, "other", 0)
+	if err != nil || v != "hello" {
+		t.Fatalf("slot must stay decided: got %v, %v", v, err)
+	}
+}
+
+func TestCompetingProposersAgree(t *testing.T) {
+	acc := acceptors(5)
+	const proposers = 5
+	results := make([]any, proposers)
+	var wg sync.WaitGroup
+	for i := 0; i < proposers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := NewProposer(i, acc)
+			v, err := p.Propose(7, fmt.Sprintf("value-%d", i), 0)
+			if err != nil {
+				t.Errorf("proposer %d: %v", i, err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < proposers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("split decision: %v vs %v", results[0], results[i])
+		}
+	}
+}
+
+func TestMinorityFailureStillDecides(t *testing.T) {
+	acc := acceptors(5)
+	acc[0].SetDown(true)
+	acc[1].SetDown(true)
+	p := NewProposer(0, acc)
+	v, err := p.Propose(1, "ok", 0)
+	if err != nil || v != "ok" {
+		t.Fatalf("minority failure must not block: %v, %v", v, err)
+	}
+}
+
+func TestMajorityFailureBlocks(t *testing.T) {
+	acc := acceptors(3)
+	acc[0].SetDown(true)
+	acc[1].SetDown(true)
+	p := NewProposer(0, acc)
+	if _, err := p.Propose(1, "x", 0); err == nil {
+		t.Fatal("majority down must fail")
+	}
+}
+
+func TestRecoveredAcceptorLearnsNothingStale(t *testing.T) {
+	acc := acceptors(3)
+	p := NewProposer(0, acc)
+	if _, err := p.Propose(1, "v1", 0); err != nil {
+		t.Fatal(err)
+	}
+	acc[2].SetDown(true)
+	if _, err := p.Propose(2, "v2", 0); err != nil {
+		t.Fatal(err)
+	}
+	acc[2].SetDown(false)
+	// A fresh proposer reading via Paxos must still see the chosen values.
+	q := NewProposer(1, acc)
+	if v, _ := q.Propose(1, "probe", 0); v != "v1" {
+		t.Fatalf("slot 1 = %v", v)
+	}
+	if v, _ := q.Propose(2, "probe", 0); v != "v2" {
+		t.Fatalf("slot 2 = %v", v)
+	}
+}
+
+func TestLogAppendSequential(t *testing.T) {
+	acc := acceptors(3)
+	l := NewLog(NewProposer(0, acc))
+	for i := 0; i < 10; i++ {
+		v := fmt.Sprintf("entry-%d", i)
+		slot, err := l.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := l.Get(slot)
+		if !ok || got != v {
+			t.Fatalf("slot %d = %v, want %v", slot, got, v)
+		}
+	}
+}
+
+func TestLogConcurrentAppendsAllLand(t *testing.T) {
+	acc := acceptors(3)
+	const writers = 4
+	logs := make([]*Log, writers)
+	for i := range logs {
+		logs[i] = NewLog(NewProposer(i, acc))
+	}
+	var wg sync.WaitGroup
+	slots := make([][]uint64, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				slot, err := logs[i].Append(fmt.Sprintf("w%d-%d", i, j))
+				if err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+				slots[i] = append(slots[i], slot)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every append landed in a distinct slot.
+	seen := map[uint64]string{}
+	for i, ss := range slots {
+		for j, s := range ss {
+			v := fmt.Sprintf("w%d-%d", i, j)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("slot %d claimed by both %s and %s", s, prev, v)
+			}
+			seen[s] = v
+		}
+	}
+}
+
+// Safety under chaotic interleavings: many proposers, random acceptor
+// outages between rounds; at most one value may ever be chosen per slot.
+func TestQuickSafetyUnderChaos(t *testing.T) {
+	acc := acceptors(5)
+	decided := make(map[uint64]any)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := NewProposer(i, acc)
+			for slot := uint64(1); slot <= 20; slot++ {
+				v, err := p.Propose(slot, fmt.Sprintf("p%d-s%d", i, slot), 64)
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				if prev, ok := decided[slot]; ok && prev != v {
+					t.Errorf("slot %d decided twice: %v and %v", slot, prev, v)
+				}
+				decided[slot] = v
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,151 @@
+// Package progcache implements node-program result memoization (§4.6):
+// "Weaver enables applications to memoize the results of node programs at
+// vertices and to reuse the memoized results in subsequent executions",
+// with invalidation "by discovering the changes in the graph structure
+// since the result was cached". The paper's example: a path query caching
+// the discovered suffix path at each vertex, discarded when any vertex or
+// edge along it changes.
+//
+// The cache is application-driven, matching the paper: entries record the
+// set of vertices a result depends on, and writers invalidate by touched
+// vertex. The paper disables caching for its benchmarks (§4.6); this repo
+// measures it as an ablation (BenchmarkAblationProgCache).
+package progcache
+
+import (
+	"container/list"
+	"sync"
+
+	"weaver/internal/graph"
+)
+
+// Key identifies one memoized execution: a program, its parameters, and
+// the vertex the result is anchored at.
+type Key struct {
+	Program string
+	Params  string // stringified params (callers hash large params)
+	Vertex  graph.VertexID
+}
+
+type entry struct {
+	key    Key
+	result [][]byte
+	deps   []graph.VertexID
+	lru    *list.Element
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Entries       int
+	Invalidations uint64
+}
+
+// Cache is a dependency-tracked memo table with LRU eviction.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Key]*entry
+	byDep   map[graph.VertexID]map[Key]struct{}
+	lru     *list.List
+
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+}
+
+// New returns a cache bounded to capacity entries (0 = 4096).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[Key]*entry),
+		byDep:   make(map[graph.VertexID]map[Key]struct{}),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the memoized result, if present.
+func (c *Cache) Get(k Key) ([][]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e.lru)
+	return e.result, true
+}
+
+// Put memoizes a result together with the vertices it depends on (the
+// vertices the program read). Any write to a dependency invalidates it.
+func (c *Cache) Put(k Key, result [][]byte, deps []graph.VertexID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[k]; ok {
+		c.removeLocked(old)
+	}
+	e := &entry{key: k, result: result, deps: deps}
+	e.lru = c.lru.PushFront(e)
+	c.entries[k] = e
+	for _, d := range deps {
+		set, ok := c.byDep[d]
+		if !ok {
+			set = make(map[Key]struct{})
+			c.byDep[d] = set
+		}
+		set[k] = struct{}{}
+	}
+	for len(c.entries) > c.cap {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest.Value.(*entry))
+	}
+}
+
+// InvalidateVertex drops every entry whose dependency set contains v.
+// Writers call this for each vertex their transaction touched.
+func (c *Cache) InvalidateVertex(v graph.VertexID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.byDep[v]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for k := range set {
+		if e, live := c.entries[k]; live {
+			c.removeLocked(e)
+			n++
+		}
+	}
+	c.invalidations += uint64(n)
+	return n
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.lru)
+	for _, d := range e.deps {
+		if set, ok := c.byDep[d]; ok {
+			delete(set, e.key)
+			if len(set) == 0 {
+				delete(c.byDep, d)
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Invalidations: c.invalidations}
+}

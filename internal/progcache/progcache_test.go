@@ -1,0 +1,97 @@
+package progcache
+
+import (
+	"fmt"
+	"testing"
+
+	"weaver/internal/graph"
+)
+
+func key(v graph.VertexID) Key {
+	return Key{Program: "traverse", Params: "p", Vertex: v}
+}
+
+func TestPutGetInvalidate(t *testing.T) {
+	c := New(16)
+	k := key("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, [][]byte{[]byte("r")}, []graph.VertexID{"a", "b", "c"})
+	res, ok := c.Get(k)
+	if !ok || string(res[0]) != "r" {
+		t.Fatalf("get: %v %v", res, ok)
+	}
+	// Invalidating an unrelated vertex keeps the entry.
+	if n := c.InvalidateVertex("zzz"); n != 0 {
+		t.Fatalf("unrelated invalidation removed %d", n)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("entry lost")
+	}
+	// Invalidating any dependency drops it — the paper's path-cache
+	// example: any vertex along the cached path changes, discard.
+	if n := c.InvalidateVertex("b"); n != 1 {
+		t.Fatalf("invalidated %d, want 1", n)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("stale result served after dependency write")
+	}
+}
+
+func TestOverwriteReplacesDeps(t *testing.T) {
+	c := New(16)
+	k := key("a")
+	c.Put(k, nil, []graph.VertexID{"x"})
+	c.Put(k, nil, []graph.VertexID{"y"})
+	if n := c.InvalidateVertex("x"); n != 0 {
+		t.Fatal("old dependency still tracked after overwrite")
+	}
+	if n := c.InvalidateVertex("y"); n != 1 {
+		t.Fatalf("new dependency not tracked: %d", n)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 5; i++ {
+		v := graph.VertexID(fmt.Sprintf("v%d", i))
+		c.Put(key(v), nil, []graph.VertexID{v})
+	}
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if _, ok := c.Get(key("v0")); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	if _, ok := c.Get(key("v4")); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	c := New(2)
+	c.Put(key("a"), nil, nil)
+	c.Put(key("b"), nil, nil)
+	c.Get(key("a")) // a becomes most recent
+	c.Put(key("c"), nil, nil)
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(8)
+	c.Put(key("a"), nil, []graph.VertexID{"a"})
+	c.Get(key("a"))
+	c.Get(key("miss"))
+	c.InvalidateVertex("a")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Invalidations != 1 || st.Entries != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,115 @@
+// Package relational is a minimal relational engine — tables of string
+// rows with hash indexes and nested-loop index joins — used to model the
+// MySQL backend of the Blockchain.info baseline (§6.1). It is deliberately
+// honest about relational costs: rows are materialized maps, joins probe
+// indexes per outer row, and results are assembled row by row, which is
+// exactly the marginal cost the paper measures against CoinGraph's pointer
+// traversals.
+package relational
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Row is one materialized tuple.
+type Row map[string]string
+
+// Table is a heap of rows with optional hash indexes.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	rows    []Row
+	indexes map[string]map[string][]int
+}
+
+// NewTable creates a table with hash indexes on the given columns.
+func NewTable(name string, indexed ...string) *Table {
+	t := &Table{name: name, indexes: make(map[string]map[string][]int)}
+	for _, col := range indexed {
+		t.indexes[col] = make(map[string][]int)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row and maintains indexes. The row is copied.
+func (t *Table) Insert(r Row) {
+	cp := make(Row, len(r))
+	for k, v := range r {
+		cp[k] = v
+	}
+	t.mu.Lock()
+	idx := len(t.rows)
+	t.rows = append(t.rows, cp)
+	for col, ix := range t.indexes {
+		if v, ok := cp[col]; ok {
+			ix[v] = append(ix[v], idx)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Lookup returns copies of all rows where col = val, via the hash index.
+// Panics if col is not indexed (a full scan would mask the modeling
+// intent; use Scan explicitly).
+func (t *Table) Lookup(col, val string) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[col]
+	if !ok {
+		panic(fmt.Sprintf("relational: no index on %s.%s", t.name, col))
+	}
+	ids := ix[val]
+	out := make([]Row, 0, len(ids))
+	for _, i := range ids {
+		out = append(out, copyRow(t.rows[i]))
+	}
+	return out
+}
+
+// Scan streams every row to fn (copies); fn returns false to stop.
+func (t *Table) Scan(fn func(Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(copyRow(r)) {
+			return
+		}
+	}
+}
+
+func copyRow(r Row) Row {
+	cp := make(Row, len(r))
+	for k, v := range r {
+		cp[k] = v
+	}
+	return cp
+}
+
+// IndexJoin performs a nested-loop index join: for every outer row, probe
+// inner's index on innerCol with the outer row's outerCol value and emit
+// the merged rows (inner columns prefixed to avoid collisions).
+func IndexJoin(outer []Row, inner *Table, outerCol, innerCol, prefix string) []Row {
+	var out []Row
+	for _, o := range outer {
+		matches := inner.Lookup(innerCol, o[outerCol])
+		for _, m := range matches {
+			merged := copyRow(o)
+			for k, v := range m {
+				merged[prefix+k] = v
+			}
+			out = append(out, merged)
+		}
+	}
+	return out
+}

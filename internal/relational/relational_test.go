@@ -1,0 +1,77 @@
+package relational
+
+import "testing"
+
+func TestInsertLookup(t *testing.T) {
+	tb := NewTable("t", "k")
+	tb.Insert(Row{"k": "a", "v": "1"})
+	tb.Insert(Row{"k": "a", "v": "2"})
+	tb.Insert(Row{"k": "b", "v": "3"})
+	rows := tb.Lookup("k", "a")
+	if len(rows) != 2 {
+		t.Fatalf("lookup a = %d rows", len(rows))
+	}
+	if len(tb.Lookup("k", "zzz")) != 0 {
+		t.Fatal("missing key must return empty")
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if tb.Name() != "t" {
+		t.Fatal("name")
+	}
+}
+
+func TestInsertCopies(t *testing.T) {
+	tb := NewTable("t", "k")
+	r := Row{"k": "a"}
+	tb.Insert(r)
+	r["k"] = "mutated"
+	if got := tb.Lookup("k", "a"); len(got) != 1 {
+		t.Fatal("insert must copy the row")
+	}
+	got := tb.Lookup("k", "a")
+	got[0]["k"] = "hacked"
+	if tb.Lookup("k", "a")[0]["k"] != "a" {
+		t.Fatal("lookup must return copies")
+	}
+}
+
+func TestLookupUnindexedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb := NewTable("t", "k")
+	tb.Lookup("other", "x")
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tb := NewTable("t", "k")
+	for i := 0; i < 10; i++ {
+		tb.Insert(Row{"k": "x"})
+	}
+	n := 0
+	tb.Scan(func(Row) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("scan visited %d", n)
+	}
+}
+
+func TestIndexJoin(t *testing.T) {
+	orders := NewTable("orders", "id")
+	items := NewTable("items", "order")
+	orders.Insert(Row{"id": "o1", "who": "alice"})
+	orders.Insert(Row{"id": "o2", "who": "bob"})
+	items.Insert(Row{"order": "o1", "sku": "a"})
+	items.Insert(Row{"order": "o1", "sku": "b"})
+	items.Insert(Row{"order": "o2", "sku": "c"})
+	out := IndexJoin(orders.Lookup("id", "o1"), items, "id", "order", "item_")
+	if len(out) != 2 {
+		t.Fatalf("join rows = %d", len(out))
+	}
+	if out[0]["who"] != "alice" || out[0]["item_sku"] == "" {
+		t.Fatalf("merged row wrong: %v", out[0])
+	}
+}

@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/nodeprog"
+	"weaver/internal/oracle"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// runReadyProgs executes every pending node-program batch whose timestamp
+// the shard has fully passed (§4.1: "Weaver delays execution of a node
+// program at a shard until after execution of all preceding and concurrent
+// transactions").
+func (s *Shard) runReadyProgs() {
+	if len(s.pending) == 0 {
+		return
+	}
+	remaining := s.pending[:0]
+	for _, b := range s.pending {
+		if _, gone := s.finished[b.qid]; gone {
+			continue // late hops for a closed query
+		}
+		if !s.progReady(b.ts) {
+			remaining = append(remaining, b)
+			continue
+		}
+		s.runBatch(b)
+	}
+	s.pending = remaining
+}
+
+// progReady reports whether every transaction this shard could still
+// execute is strictly after ts: each queue is empty with its frontier past
+// ts, or its head (hence everything behind it) is vclock-after ts.
+func (s *Shard) progReady(ts core.Timestamp) bool {
+	for gk := range s.queues {
+		if len(s.queues[gk]) > 0 {
+			if ts.Compare(s.queues[gk][0].ts) != core.Before {
+				return false
+			}
+			continue
+		}
+		f := s.frontier[gk]
+		if f.Zero() || ts.Compare(f) != core.Before {
+			return false
+		}
+	}
+	return true
+}
+
+// visible builds the snapshot predicate for a node program at ts: a version
+// written at w is visible iff w happened before ts, refining concurrent
+// pairs through the timeline oracle with the write-before-read preference
+// (§4.1: for fresh pairs "the oracle will prefer arrival order … always
+// ordering node programs after transactions"), so programs never miss
+// updates from transactions that committed before they ran.
+func (s *Shard) visible(progTS core.Timestamp) graph.Before {
+	progEv := oracle.EventOf(progTS)
+	return func(w core.Timestamp) bool {
+		switch w.Compare(progTS) {
+		case core.Before:
+			return true
+		case core.After, core.Equal:
+			return false
+		}
+		key := [2]core.ID{w.ID(), progEv.ID}
+		if o, ok := s.orderCache[key]; ok {
+			s.cacheHits.Add(1)
+			return o == core.Before
+		}
+		s.readRefines.Add(1)
+		o, err := s.orc.QueryOrder(oracle.EventOf(w), progEv, core.Before)
+		if err != nil {
+			return false // unreachable oracle: hide the version
+		}
+		s.orderCache[key] = o
+		s.orderCache[[2]core.ID{progEv.ID, key[0]}] = o.Invert()
+		return o == core.Before
+	}
+}
+
+// runBatch executes a batch of hops and their local cascade, forwards
+// remote hops, and reports the delta to the coordinator.
+func (s *Shard) runBatch(b *hopBatch) {
+	s.progBatches.Add(1)
+	view := s.g.At(s.visible(b.ts))
+
+	states := s.progState[b.qid]
+	if states == nil {
+		states = make(map[graph.VertexID][]byte)
+		s.progState[b.qid] = states
+	}
+
+	work := append([]wire.Hop(nil), b.hops...)
+	consumed := make([]uint64, 0, len(b.hops))
+	for _, h := range b.hops {
+		consumed = append(consumed, h.ID)
+	}
+	var results [][]byte
+	remote := make(map[int][]wire.Hop)
+	visits := 0
+	fail := func(err error) {
+		s.ep.Send(b.coordinator, wire.ProgDelta{QID: b.qid, Err: err.Error()})
+		delete(s.progState, b.qid)
+	}
+	for len(work) > 0 {
+		if visits >= s.cfg.MaxCascade {
+			fail(fmt.Errorf("shard %d: node program %v exceeded cascade limit %d", s.cfg.ID, b.qid, s.cfg.MaxCascade))
+			return
+		}
+		hop := work[len(work)-1]
+		work = work[:len(work)-1]
+		visits++
+		s.progVisits.Add(1)
+
+		p, found := s.reg.Get(hop.Program)
+		if !found {
+			fail(fmt.Errorf("shard %d: unknown node program %q", s.cfg.ID, hop.Program))
+			return
+		}
+		vv, ok := view.Vertex(hop.Vertex)
+		if !ok && s.pager != nil && !s.g.Has(hop.Vertex) {
+			// Demand paging, fault half (§6.1): the vertex may have
+			// been evicted; reload its committed record.
+			if s.pageIn(hop.Vertex) {
+				vv, _ = view.Vertex(hop.Vertex)
+			}
+		}
+		ctx := &nodeprog.Context{
+			Query:    b.qid,
+			TS:       b.ts,
+			VertexID: hop.Vertex,
+			Vertex:   vv,
+			State:    states[hop.Vertex],
+			Params:   hop.Params,
+		}
+		res, err := p.Visit(ctx)
+		if err != nil {
+			fail(fmt.Errorf("shard %d: program %q at %q: %v", s.cfg.ID, hop.Program, hop.Vertex, err))
+			return
+		}
+		if res.State != nil {
+			states[hop.Vertex] = res.State
+		}
+		if res.Return != nil {
+			results = append(results, res.Return)
+		}
+		for _, nh := range res.Hops {
+			nextProg := nh.Program
+			if nextProg == "" {
+				nextProg = hop.Program
+			}
+			if tgt := s.dir.Lookup(nh.Vertex); tgt != s.cfg.ID {
+				// Remote hops get unique IDs (shard index in the
+				// high bits) for the coordinator's spawn/consume
+				// matching.
+				id := s.hopSeq.Add(1) | uint64(s.cfg.ID+1)<<48
+				remote[tgt] = append(remote[tgt], wire.Hop{ID: id, Vertex: nh.Vertex, Program: nextProg, Params: nh.Params})
+			} else {
+				// Local cascade: executed in this batch, no ID needed.
+				work = append(work, wire.Hop{Vertex: nh.Vertex, Program: nextProg, Params: nh.Params})
+			}
+		}
+	}
+
+	var spawnedIDs []uint64
+	for tgt, hops := range remote {
+		for _, h := range hops {
+			spawnedIDs = append(spawnedIDs, h.ID)
+		}
+		s.ep.Send(transport.ShardAddr(tgt), wire.ProgHops{
+			QID:         b.qid,
+			TS:          b.ts,
+			Coordinator: b.coordinator,
+			Hops:        hops,
+		})
+	}
+	if err := s.ep.Send(b.coordinator, wire.ProgDelta{
+		QID:         b.qid,
+		ConsumedIDs: consumed,
+		SpawnedIDs:  spawnedIDs,
+		Results:     results,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "weaver shard %d: delta to %s: %v\n", s.cfg.ID, b.coordinator, err)
+	}
+}

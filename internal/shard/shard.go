@@ -1,0 +1,534 @@
+// Package shard implements Weaver's shard servers (§3.2, §4.1, §4.2): the
+// in-memory multi-version graph partitions that execute transactions and
+// node programs.
+//
+// Ordering model. Each shard keeps one queue per gatekeeper. Gatekeeper i's
+// stream (transactions and NOPs) arrives FIFO — restored by sequence
+// numbers — and carries monotonically increasing timestamps, so everything
+// a shard will ever receive from gatekeeper i is vector-clock-after the
+// last in-order item seen from i (the "frontier"). The event loop executes
+// the transaction at the globally earliest head: a head runs when every
+// other queue's head orders after it (consulting the timeline oracle for
+// concurrent pairs — decisions are cached, §4.2) or is empty with a
+// frontier already past it. NOPs never enqueue; they only advance the
+// frontier (§4.2).
+//
+// Node programs (§4.1) wait until every frontier and every queued
+// transaction is strictly after the program's timestamp — i.e. until all
+// preceding and concurrent transactions have executed — then read the
+// multi-version graph at the program's timestamp, refining the visibility
+// of any version concurrent with it through the oracle (write-before-read
+// preference, §4.1). Hops cascade locally and forward to peer shards;
+// progress deltas flow to the coordinating gatekeeper.
+package shard
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/kvstore"
+	"weaver/internal/nodeprog"
+	"weaver/internal/oracle"
+	"weaver/internal/partition"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// Config parameterizes a shard server.
+type Config struct {
+	// ID is this shard's index in [0, NumShards).
+	ID int
+	// NumGatekeepers sets the queue count.
+	NumGatekeepers int
+	// Epoch is the starting epoch.
+	Epoch uint64
+	// Retain disables version garbage collection, keeping the full
+	// multi-version history for historical queries (§4.5).
+	Retain bool
+	// MaxCascade bounds one batch's local visit cascade (safety valve
+	// against non-terminating programs). 0 = 1<<22.
+	MaxCascade int
+	// HeartbeatPeriod, when positive, sends liveness beats to the
+	// cluster manager (§4.3).
+	HeartbeatPeriod time.Duration
+	// ManagerAddr receives heartbeats (default "climgr").
+	ManagerAddr transport.Addr
+	// MaxVertices, with a Pager, caps resident vertex histories: once the
+	// GC watermark advances, cold vertices (all writes below the
+	// watermark) are paged out, and node programs page missing vertices
+	// back in from the backing store on demand (§6.1: "we implement
+	// demand paging in Weaver to read vertices and edges from HyperDex
+	// Warp in to the memory of Weaver shards"). 0 = unlimited.
+	MaxVertices int
+}
+
+// Pager reads vertex records for demand paging; satisfied by
+// kvstore.Backing.
+type Pager interface {
+	GetVersioned(key string) (value []byte, version uint64, ok bool)
+}
+
+// Stats counts shard activity.
+type Stats struct {
+	TxExecuted   uint64
+	OpsApplied   uint64
+	ApplyErrors  uint64
+	NopsSeen     uint64
+	ProgVisits   uint64
+	ProgBatches  uint64
+	OrderQueries uint64 // oracle consultations for head ordering
+	ReadRefines  uint64 // oracle consultations for version visibility
+	CacheHits    uint64 // ordering answers served from the local cache
+	GCCollected  uint64
+	VersionsLive uint64
+	PagedIn      uint64
+	PagedOut     uint64
+}
+
+type queued struct {
+	ts  core.Timestamp
+	ops []graph.Op
+}
+
+type hopBatch struct {
+	qid         core.ID
+	ts          core.Timestamp
+	coordinator transport.Addr
+	hops        []wire.Hop
+}
+
+// Shard is one shard server. All mutable state is owned by the Run loop
+// goroutine; external readers use the atomic counters only.
+type Shard struct {
+	cfg Config
+	ep  transport.Endpoint
+	g   *graph.Store
+	orc oracle.Client
+	reg *nodeprog.Registry
+	dir partition.Directory
+
+	reseq      []*transport.Resequencer[queued]
+	queues     [][]queued
+	frontier   []core.Timestamp
+	pending    []*hopBatch
+	progState  map[core.ID]map[graph.VertexID][]byte
+	finished   map[core.ID]struct{}
+	finishedQ  []core.ID // FIFO for bounding the finished set
+	orderCache map[[2]core.ID]core.Order
+	gcReports  map[int]core.Timestamp
+	pager      Pager
+	pagedIn    atomic.Uint64
+	pagedOut   atomic.Uint64
+
+	hopSeq atomic.Uint64
+
+	ctrl chan func()
+
+	stop     chan struct{}
+	stopOnce func()
+	done     chan struct{}
+
+	txExecuted   atomic.Uint64
+	opsApplied   atomic.Uint64
+	applyErrors  atomic.Uint64
+	nopsSeen     atomic.Uint64
+	progVisits   atomic.Uint64
+	progBatches  atomic.Uint64
+	orderQueries atomic.Uint64
+	readRefines  atomic.Uint64
+	cacheHits    atomic.Uint64
+	gcCollected  atomic.Uint64
+}
+
+// New wires a shard server. Call Start to launch its event loop.
+func New(cfg Config, ep transport.Endpoint, orc oracle.Client, reg *nodeprog.Registry, dir partition.Directory) *Shard {
+	if cfg.MaxCascade <= 0 {
+		cfg.MaxCascade = 1 << 22
+	}
+	if cfg.ManagerAddr == "" {
+		cfg.ManagerAddr = "climgr"
+	}
+	s := &Shard{
+		cfg:        cfg,
+		ep:         ep,
+		g:          graph.NewStore(),
+		orc:        orc,
+		reg:        reg,
+		dir:        dir,
+		reseq:      make([]*transport.Resequencer[queued], cfg.NumGatekeepers),
+		queues:     make([][]queued, cfg.NumGatekeepers),
+		frontier:   make([]core.Timestamp, cfg.NumGatekeepers),
+		progState:  make(map[core.ID]map[graph.VertexID][]byte),
+		finished:   make(map[core.ID]struct{}),
+		orderCache: make(map[[2]core.ID]core.Order),
+		gcReports:  make(map[int]core.Timestamp),
+		ctrl:       make(chan func()),
+	}
+	for i := range s.reseq {
+		s.reseq[i] = transport.NewResequencer[queued]()
+	}
+	stopCh := make(chan struct{})
+	s.stop = stopCh
+	var stopped atomic.Bool
+	s.stopOnce = func() {
+		if stopped.CompareAndSwap(false, true) {
+			close(stopCh)
+		}
+	}
+	s.done = make(chan struct{})
+	return s
+}
+
+// ID returns the shard index.
+func (s *Shard) ID() int { return s.cfg.ID }
+
+// Graph exposes the multi-version store (read-only use: recovery checks and
+// tests).
+func (s *Shard) Graph() *graph.Store { return s.g }
+
+// Stats returns a snapshot of activity counters.
+func (s *Shard) Stats() Stats {
+	return Stats{
+		TxExecuted:   s.txExecuted.Load(),
+		OpsApplied:   s.opsApplied.Load(),
+		ApplyErrors:  s.applyErrors.Load(),
+		NopsSeen:     s.nopsSeen.Load(),
+		ProgVisits:   s.progVisits.Load(),
+		ProgBatches:  s.progBatches.Load(),
+		OrderQueries: s.orderQueries.Load(),
+		ReadRefines:  s.readRefines.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		GCCollected:  s.gcCollected.Load(),
+		VersionsLive: uint64(s.g.NumVertices()),
+		PagedIn:      s.pagedIn.Load(),
+		PagedOut:     s.pagedOut.Load(),
+	}
+}
+
+// SetPager enables demand paging from the backing store (call before
+// Start).
+func (s *Shard) SetPager(p Pager) { s.pager = p }
+
+// Recover reloads this shard's partition from the backing store (§4.3):
+// every live vertex record homed here becomes visible at its last-update
+// timestamp. Must be called before Start, behind the cluster manager's
+// epoch barrier.
+func (s *Shard) Recover(kv kvstore.Backing) int {
+	n := 0
+	kv.ScanPrefix("v/", func(_ string, data []byte) {
+		rec, err := graph.DecodeRecord(data)
+		if err != nil || rec.Deleted || rec.Shard != s.cfg.ID {
+			return
+		}
+		s.g.Load(rec)
+		n++
+	})
+	return n
+}
+
+// Start launches the event loop (and the heartbeat ticker, if configured).
+func (s *Shard) Start() {
+	go s.run()
+	if s.cfg.HeartbeatPeriod > 0 {
+		go func() {
+			t := time.NewTicker(s.cfg.HeartbeatPeriod)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.ep.Send(s.cfg.ManagerAddr, wire.Heartbeat{From: s.ep.Addr()})
+				}
+			}
+		}()
+	}
+}
+
+// Pause implements the cluster manager's Server interface; shards have no
+// issuance to pause.
+func (s *Shard) Pause() {}
+
+// Resume implements the cluster manager's Server interface.
+func (s *Shard) Resume() {}
+
+// EnterEpoch implements the §4.3 barrier on the event loop: drain all
+// in-flight traffic (gatekeepers are paused, so the mailbox is complete),
+// flush and reset the per-gatekeeper FIFO streams, and expect new-epoch
+// numbering from 1. Blocks until the loop has applied it.
+func (s *Shard) EnterEpoch(epoch uint64) {
+	done := make(chan struct{})
+	select {
+	case s.ctrl <- func() {
+		for gk := range s.reseq {
+			// Anything still buffered arrived out of order; apply it
+			// in sequence order before resetting (gaps cannot occur
+			// on the in-process fabric: sends land with the commit).
+			for _, item := range s.reseq[gk].Flush() {
+				s.frontier[gk] = item.ts
+				if len(item.ops) > 0 {
+					s.queues[gk] = append(s.queues[gk], item)
+				}
+			}
+			s.reseq[gk].Reset()
+		}
+		s.pump()
+		close(done)
+	}:
+		<-done
+	case <-s.stop:
+	}
+}
+
+// Stop terminates the event loop.
+func (s *Shard) Stop() {
+	s.stopOnce()
+	<-s.done
+}
+
+func (s *Shard) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case fn := <-s.ctrl:
+			// Drain the mailbox before control actions so the epoch
+			// barrier sees every in-flight message.
+			s.drain()
+			fn()
+		case <-s.ep.Recv():
+			s.drain()
+			s.pump()
+		}
+	}
+}
+
+// drain ingests every message currently in the mailbox.
+func (s *Shard) drain() {
+	for {
+		msg, ok := s.ep.Next()
+		if !ok {
+			return
+		}
+		s.handle(msg)
+	}
+}
+
+func (s *Shard) handle(msg transport.Message) {
+	switch m := msg.Payload.(type) {
+	case wire.TxForward:
+		s.ingest(m.TS, m.Seq, m.Ops)
+	case wire.Nop:
+		s.nopsSeen.Add(1)
+		s.ingest(m.TS, m.Seq, nil)
+	case wire.ProgStart:
+		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, coordinator: m.Coordinator, hops: m.Hops})
+	case wire.ProgHops:
+		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, coordinator: m.Coordinator, hops: m.Hops})
+	case wire.ProgFinish:
+		delete(s.progState, m.QID)
+		if _, seen := s.finished[m.QID]; !seen {
+			s.finished[m.QID] = struct{}{}
+			s.finishedQ = append(s.finishedQ, m.QID)
+			// Bound the tombstone set; old queries cannot produce
+			// further hops once their coordinator long closed.
+			const maxFinished = 1 << 14
+			for len(s.finishedQ) > maxFinished {
+				delete(s.finished, s.finishedQ[0])
+				s.finishedQ = s.finishedQ[1:]
+			}
+		}
+	case wire.GCReport:
+		if !s.cfg.Retain {
+			s.gcReports[m.GK] = m.TS
+			s.maybeGC()
+		}
+	}
+}
+
+// ingest pushes one in-order stream item through the resequencer; NOPs
+// advance the frontier, transactions enqueue.
+func (s *Shard) ingest(ts core.Timestamp, seq uint64, ops []graph.Op) {
+	gk := ts.Owner
+	if gk < 0 || gk >= len(s.queues) {
+		return
+	}
+	s.reseq[gk].Push(seq, queued{ts: ts, ops: ops})
+	for {
+		item, ok := s.reseq[gk].Pop()
+		if !ok {
+			break
+		}
+		s.frontier[gk] = item.ts
+		if len(item.ops) > 0 {
+			s.queues[gk] = append(s.queues[gk], item)
+		}
+	}
+}
+
+// pump drains all executable work: transactions in timestamp order, then
+// any node-program batches that have become ready.
+func (s *Shard) pump() {
+	for {
+		if !s.executeOneTx() {
+			break
+		}
+	}
+	s.runReadyProgs()
+}
+
+// executeOneTx finds and executes a queue head that orders before every
+// other gatekeeper's possible traffic. Returns false when no head is
+// currently executable.
+func (s *Shard) executeOneTx() bool {
+	for gk := range s.queues {
+		if len(s.queues[gk]) == 0 {
+			continue
+		}
+		h := s.queues[gk][0]
+		if s.executable(h.ts, gk) {
+			s.queues[gk] = s.queues[gk][1:]
+			s.apply(h)
+			return true
+		}
+	}
+	return false
+}
+
+// executable reports whether the transaction at ts (head of queue hgk) is
+// safe to execute: every other gatekeeper's next possible transaction is
+// after it.
+func (s *Shard) executable(ts core.Timestamp, hgk int) bool {
+	for gk := range s.queues {
+		if gk == hgk {
+			continue
+		}
+		if len(s.queues[gk]) > 0 {
+			if s.order(ts, s.queues[gk][0].ts) != core.Before {
+				return false
+			}
+			continue
+		}
+		// Empty queue: rely on the frontier — everything still to come
+		// from gk is vclock-after it.
+		f := s.frontier[gk]
+		if f.Zero() || ts.Compare(f) != core.Before {
+			return false
+		}
+	}
+	return true
+}
+
+// order resolves the execution order of two concurrent-capable timestamps,
+// refining through the timeline oracle when vector clocks are inconclusive
+// (§3.4). Decisions are cached shard-side — the oracle's answers are
+// irreversible, so the cache never invalidates (§4.2).
+func (s *Shard) order(a, b core.Timestamp) core.Order {
+	if cmp := a.Compare(b); cmp != core.Concurrent {
+		return cmp
+	}
+	key := [2]core.ID{a.ID(), b.ID()}
+	if o, ok := s.orderCache[key]; ok {
+		s.cacheHits.Add(1)
+		return o
+	}
+	s.orderQueries.Add(1)
+	o, err := s.orc.QueryOrder(oracle.EventOf(a), oracle.EventOf(b), core.Before)
+	if err != nil {
+		// Unreachable oracle: be conservative, do not execute.
+		return core.Concurrent
+	}
+	s.orderCache[key] = o
+	s.orderCache[[2]core.ID{key[1], key[0]}] = o.Invert()
+	return o
+}
+
+// apply executes one transaction's operations against the multi-version
+// graph. Operations were validated at the backing store (§4.2); a failure
+// here is an ordering bug and is surfaced loudly.
+//
+// With demand paging, an operation may target an evicted vertex: the
+// backing-store record — which already includes this transaction's effects,
+// stamped with its timestamp (commits reach the store before shards) — is
+// paged back in, and the transaction's remaining operations on that vertex
+// are skipped to avoid double application.
+func (s *Shard) apply(q queued) {
+	var paged map[graph.VertexID]bool
+	for _, op := range q.ops {
+		if paged[op.Vertex] {
+			s.opsApplied.Add(1)
+			continue
+		}
+		if s.pager != nil && op.Kind != graph.OpCreateVertex && !s.g.Has(op.Vertex) {
+			if s.pageIn(op.Vertex) {
+				if paged == nil {
+					paged = make(map[graph.VertexID]bool)
+				}
+				paged[op.Vertex] = true
+				s.opsApplied.Add(1)
+				continue
+			}
+		}
+		if err := s.g.Apply(op, q.ts); err != nil {
+			s.applyErrors.Add(1)
+			fmt.Fprintf(os.Stderr, "weaver shard %d: apply %v at %v: %v\n", s.cfg.ID, op.Kind, q.ts, err)
+		} else {
+			s.opsApplied.Add(1)
+		}
+	}
+	s.txExecuted.Add(1)
+}
+
+// pageIn faults one vertex record from the backing store into the
+// in-memory graph (§6.1). Returns false when the record is absent, deleted,
+// or homed elsewhere.
+func (s *Shard) pageIn(v graph.VertexID) bool {
+	data, _, found := s.pager.GetVersioned("v/" + string(v))
+	if !found {
+		return false
+	}
+	rec, err := graph.DecodeRecord(data)
+	if err != nil || rec.Deleted || rec.Shard != s.cfg.ID {
+		return false
+	}
+	s.g.Load(rec)
+	s.pagedIn.Add(1)
+	return true
+}
+
+// maybeGC prunes graph versions once a watermark report from every
+// gatekeeper is in (§4.5).
+func (s *Shard) maybeGC() {
+	if len(s.gcReports) < s.cfg.NumGatekeepers {
+		return
+	}
+	all := make([]core.Timestamp, 0, len(s.gcReports))
+	for _, ts := range s.gcReports {
+		all = append(all, ts)
+	}
+	s.gcReports = make(map[int]core.Timestamp)
+	wm := core.PointwiseMin(all...)
+	n := s.g.CollectBefore(wm)
+	s.gcCollected.Add(uint64(n))
+	// Demand paging, eviction half (§6.1): shed cold vertices above the
+	// memory cap; they page back in from the backing store on access.
+	if s.cfg.MaxVertices > 0 && s.pager != nil {
+		if over := s.g.NumVertices() - s.cfg.MaxVertices; over > 0 {
+			evicted := s.g.EvictBefore(wm, over)
+			s.pagedOut.Add(uint64(len(evicted)))
+		}
+	}
+	// The ordering cache only grows; decisions about collected events can
+	// never be asked again (every future reader or writer is vclock-after
+	// them), so bounding it by occasional wholesale reset is safe — a
+	// dropped entry is re-fetched from the oracle, whose answers are
+	// irreversible.
+	if len(s.orderCache) > 1<<20 {
+		s.orderCache = make(map[[2]core.ID]core.Order)
+	}
+}

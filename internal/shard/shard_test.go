@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/nodeprog"
+	"weaver/internal/oracle"
+	"weaver/internal/partition"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// rig builds a shard with a driver endpoint acting as gatekeeper 0 (and
+// coordinator) plus helpers to feed it messages.
+type rig struct {
+	t     *testing.T
+	sh    *Shard
+	drv   transport.Endpoint
+	orc   oracle.Client
+	clock *core.VectorClock
+	seq   *transport.Sequencer
+}
+
+func newRig(t *testing.T, gks int) *rig {
+	t.Helper()
+	f := transport.NewFabric()
+	orc := oracle.NewService()
+	sh := New(Config{ID: 0, NumGatekeepers: gks},
+		f.Endpoint(transport.ShardAddr(0)), orc, nodeprog.NewRegistry(), partition.NewHash(1))
+	sh.Start()
+	t.Cleanup(sh.Stop)
+	return &rig{
+		t:     t,
+		sh:    sh,
+		drv:   f.Endpoint(transport.GatekeeperAddr(0)),
+		orc:   orc,
+		clock: core.NewVectorClock(0, gks, 0),
+		seq:   transport.NewSequencer(),
+	}
+}
+
+func (r *rig) sendTx(ops ...graph.Op) core.Timestamp {
+	ts := r.clock.Tick()
+	r.drv.Send(transport.ShardAddr(0), wire.TxForward{TS: ts, Seq: r.seq.Next(transport.ShardAddr(0)), Ops: ops})
+	return ts
+}
+
+func (r *rig) sendNop() core.Timestamp {
+	ts := r.clock.Tick()
+	r.drv.Send(transport.ShardAddr(0), wire.Nop{TS: ts, Seq: r.seq.Next(transport.ShardAddr(0))})
+	return ts
+}
+
+func (r *rig) waitStats(cond func(Stats) bool) Stats {
+	r.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := r.sh.Stats()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			r.t.Fatalf("condition never met; stats %+v", st)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestShardAppliesSingleGKInOrder(t *testing.T) {
+	r := newRig(t, 1)
+	r.sendTx(graph.Op{Kind: graph.OpCreateVertex, Vertex: "a"})
+	r.sendTx(graph.Op{Kind: graph.OpSetVertexProp, Vertex: "a", Key: "k", Value: "1"})
+	r.sendNop()
+	st := r.waitStats(func(s Stats) bool { return s.TxExecuted >= 2 })
+	if st.ApplyErrors != 0 {
+		t.Fatalf("apply errors: %+v", st)
+	}
+	if r.sh.Graph().NumVertices() != 1 {
+		t.Fatal("vertex missing")
+	}
+}
+
+// Out-of-order sequence numbers must be resequenced before execution: an
+// op stream [create, set-prop] delivered as [set-prop, create] must still
+// apply in order.
+func TestShardResequencesOutOfOrder(t *testing.T) {
+	r := newRig(t, 1)
+	ts1 := r.clock.Tick()
+	ts2 := r.clock.Tick()
+	addr := transport.ShardAddr(0)
+	seq1 := r.seq.Next(addr)
+	seq2 := r.seq.Next(addr)
+	// Deliver the second message first.
+	r.drv.Send(addr, wire.TxForward{TS: ts2, Seq: seq2, Ops: []graph.Op{{Kind: graph.OpSetVertexProp, Vertex: "a", Key: "k", Value: "1"}}})
+	time.Sleep(2 * time.Millisecond)
+	if st := r.sh.Stats(); st.TxExecuted != 0 {
+		t.Fatalf("executed before gap filled: %+v", st)
+	}
+	r.drv.Send(addr, wire.TxForward{TS: ts1, Seq: seq1, Ops: []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "a"}}})
+	st := r.waitStats(func(s Stats) bool { return s.TxExecuted >= 2 })
+	if st.ApplyErrors != 0 {
+		t.Fatalf("resequencing failed: %+v", st)
+	}
+}
+
+// With two gatekeepers, a transaction from gk0 cannot execute until gk1's
+// frontier passes it.
+func TestShardWaitsForOtherGatekeepers(t *testing.T) {
+	f := transport.NewFabric()
+	orc := oracle.NewService()
+	sh := New(Config{ID: 0, NumGatekeepers: 2},
+		f.Endpoint(transport.ShardAddr(0)), orc, nodeprog.NewRegistry(), partition.NewHash(1))
+	sh.Start()
+	t.Cleanup(sh.Stop)
+
+	gk0 := f.Endpoint(transport.GatekeeperAddr(0))
+	gk1 := f.Endpoint(transport.GatekeeperAddr(1))
+	c0 := core.NewVectorClock(0, 2, 0)
+	c1 := core.NewVectorClock(1, 2, 0)
+
+	ts := c0.Tick()
+	gk0.Send(transport.ShardAddr(0), wire.TxForward{TS: ts, Seq: 1, Ops: []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "a"}}})
+	time.Sleep(3 * time.Millisecond)
+	if st := sh.Stats(); st.TxExecuted != 0 {
+		t.Fatalf("executed without hearing from gk1: %+v", st)
+	}
+	// gk1 observes gk0's clock and nops past it.
+	c1.Observe(c0.Peek())
+	gk1.Send(transport.ShardAddr(0), wire.Nop{TS: c1.Tick(), Seq: 1})
+	deadline := time.Now().Add(3 * time.Second)
+	for sh.Stats().TxExecuted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tx never executed: %+v", sh.Stats())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestShardRunsProgramAfterReadiness(t *testing.T) {
+	r := newRig(t, 1)
+	r.sendTx(graph.Op{Kind: graph.OpCreateVertex, Vertex: "v"})
+	progTS := r.clock.Tick()
+	r.drv.Send(transport.ShardAddr(0), wire.ProgStart{
+		QID: progTS.ID(), TS: progTS, Prog: "get_node",
+		Hops:        []wire.Hop{{ID: 1, Vertex: "v", Program: "get_node"}},
+		Coordinator: r.drv.Addr(),
+	})
+	time.Sleep(2 * time.Millisecond)
+	if st := r.sh.Stats(); st.ProgVisits != 0 {
+		t.Fatal("program ran before frontier passed its timestamp")
+	}
+	r.sendNop() // frontier passes progTS
+	// Expect a delta back.
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case <-r.drv.Recv():
+			for {
+				m, ok := r.drv.Next()
+				if !ok {
+					break
+				}
+				if d, isDelta := m.Payload.(wire.ProgDelta); isDelta {
+					if len(d.ConsumedIDs) != 1 || d.ConsumedIDs[0] != 1 || len(d.Results) != 1 {
+						t.Fatalf("unexpected delta %+v", d)
+					}
+					return
+				}
+			}
+		case <-deadline:
+			t.Fatalf("no delta; stats %+v", r.sh.Stats())
+		}
+	}
+}
+
+func TestShardDropsHopsForFinishedQueries(t *testing.T) {
+	r := newRig(t, 1)
+	r.sendTx(graph.Op{Kind: graph.OpCreateVertex, Vertex: "v"})
+	progTS := r.clock.Tick()
+	qid := progTS.ID()
+	r.drv.Send(transport.ShardAddr(0), wire.ProgFinish{QID: qid})
+	time.Sleep(time.Millisecond)
+	r.drv.Send(transport.ShardAddr(0), wire.ProgStart{
+		QID: qid, TS: progTS, Prog: "get_node",
+		Hops:        []wire.Hop{{ID: 1, Vertex: "v", Program: "get_node"}},
+		Coordinator: r.drv.Addr(),
+	})
+	r.sendNop()
+	r.sendNop()
+	time.Sleep(5 * time.Millisecond)
+	if st := r.sh.Stats(); st.ProgVisits != 0 {
+		t.Fatalf("finished query still executed: %+v", st)
+	}
+}
+
+func TestShardGCCollectsOldVersions(t *testing.T) {
+	r := newRig(t, 1)
+	r.sendTx(graph.Op{Kind: graph.OpCreateVertex, Vertex: "v"})
+	r.sendTx(graph.Op{Kind: graph.OpSetVertexProp, Vertex: "v", Key: "k", Value: "1"})
+	r.sendTx(graph.Op{Kind: graph.OpSetVertexProp, Vertex: "v", Key: "k", Value: "2"})
+	r.waitStats(func(s Stats) bool { return s.TxExecuted >= 3 })
+	// Report a watermark past everything: the superseded "1" version goes.
+	r.drv.Send(transport.ShardAddr(0), wire.GCReport{GK: 0, TS: r.clock.Tick()})
+	st := r.waitStats(func(s Stats) bool { return s.GCCollected >= 1 })
+	if st.GCCollected != 1 {
+		t.Fatalf("collected %d, want 1", st.GCCollected)
+	}
+}
+
+func TestShardRetainSkipsGC(t *testing.T) {
+	f := transport.NewFabric()
+	sh := New(Config{ID: 0, NumGatekeepers: 1, Retain: true},
+		f.Endpoint(transport.ShardAddr(0)), oracle.NewService(), nodeprog.NewRegistry(), partition.NewHash(1))
+	sh.Start()
+	t.Cleanup(sh.Stop)
+	drv := f.Endpoint(transport.GatekeeperAddr(0))
+	clock := core.NewVectorClock(0, 1, 0)
+	drv.Send(transport.ShardAddr(0), wire.TxForward{TS: clock.Tick(), Seq: 1, Ops: []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "v"}}})
+	drv.Send(transport.ShardAddr(0), wire.GCReport{GK: 0, TS: clock.Tick()})
+	time.Sleep(5 * time.Millisecond)
+	if st := sh.Stats(); st.GCCollected != 0 {
+		t.Fatalf("retain mode collected %d", st.GCCollected)
+	}
+}
+
+func TestShardEnterEpochResetsStreams(t *testing.T) {
+	r := newRig(t, 1)
+	r.sendTx(graph.Op{Kind: graph.OpCreateVertex, Vertex: "a"})
+	r.waitStats(func(s Stats) bool { return s.TxExecuted >= 1 })
+	r.sh.EnterEpoch(1)
+	// New epoch: sequence numbering restarts at 1.
+	r.clock.AdvanceEpoch(1)
+	r.seq.Reset()
+	r.sendTx(graph.Op{Kind: graph.OpCreateVertex, Vertex: "b"})
+	st := r.waitStats(func(s Stats) bool { return s.TxExecuted >= 2 })
+	if st.ApplyErrors != 0 {
+		t.Fatalf("epoch reset broke the stream: %+v", st)
+	}
+}

@@ -1,0 +1,95 @@
+package transport
+
+import "sort"
+
+// Resequencer restores per-sender FIFO order from sequence numbers (§4.2:
+// "Weaver maintains FIFO channels between each gatekeeper and shard pair
+// using sequence numbers"). The sender stamps consecutive sequence numbers
+// starting at 1; the receiver pushes arrivals in any order and pops them in
+// sequence, buffering gaps.
+//
+// Reset begins a new epoch: buffered out-of-order traffic from the old
+// epoch is dropped and numbering restarts at 1 (used after gatekeeper
+// failover, §4.3).
+type Resequencer[T any] struct {
+	next    uint64
+	pending map[uint64]T
+}
+
+// NewResequencer returns a resequencer expecting sequence number 1 first.
+func NewResequencer[T any]() *Resequencer[T] {
+	return &Resequencer[T]{next: 1, pending: make(map[uint64]T)}
+}
+
+// Push adds an arrival. Stale (already delivered) sequence numbers are
+// dropped, making delivery idempotent under retransmission.
+func (r *Resequencer[T]) Push(seq uint64, v T) {
+	if seq < r.next {
+		return
+	}
+	r.pending[seq] = v
+}
+
+// Pop returns the next in-order item, if it has arrived.
+func (r *Resequencer[T]) Pop() (T, bool) {
+	v, ok := r.pending[r.next]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	delete(r.pending, r.next)
+	r.next++
+	return v, true
+}
+
+// Pending returns the number of buffered out-of-order items.
+func (r *Resequencer[T]) Pending() int { return len(r.pending) }
+
+// Flush returns every buffered item in sequence order, including those
+// beyond gaps, and empties the buffer. Used at epoch barriers: with the
+// in-process fabric, sends land atomically with the commit that produced
+// them, so gaps can only be transient reorderings that the drain preceding
+// the flush has already healed.
+func (r *Resequencer[T]) Flush() []T {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(r.pending))
+	for s := range r.pending {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]T, 0, len(seqs))
+	for _, s := range seqs {
+		out = append(out, r.pending[s])
+	}
+	r.pending = make(map[uint64]T)
+	return out
+}
+
+// Reset drops all buffered items and restarts numbering at 1.
+func (r *Resequencer[T]) Reset() {
+	r.next = 1
+	r.pending = make(map[uint64]T)
+}
+
+// Sequencer stamps outgoing messages with per-destination sequence numbers.
+type Sequencer struct {
+	next map[Addr]uint64
+}
+
+// NewSequencer returns a sequencer starting every destination at 1.
+func NewSequencer() *Sequencer {
+	return &Sequencer{next: make(map[Addr]uint64)}
+}
+
+// Next returns the sequence number to use for the next message to addr.
+func (s *Sequencer) Next(addr Addr) uint64 {
+	s.next[addr]++
+	return s.next[addr]
+}
+
+// Reset restarts numbering for all destinations (new epoch).
+func (s *Sequencer) Reset() {
+	s.next = make(map[Addr]uint64)
+}

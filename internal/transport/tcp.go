@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// envelope frames one message on the wire.
+type envelope struct {
+	From    Addr
+	To      Addr
+	Payload any
+}
+
+// TCPNode is the multi-process fabric: one node per OS process, hosting
+// any number of local endpoints and routing remote sends over persistent
+// TCP connections with gob framing. Payload types must be registered with
+// encoding/gob (wire.RegisterGob does this for Weaver's messages).
+//
+// Routing is static: a table from logical address prefix to "host:port".
+// Routes resolve most-specific first: an exact address match, then the
+// prefix before '/' (so "gk" → coordinator host routes every gatekeeper).
+type TCPNode struct {
+	mu       sync.Mutex
+	listener net.Listener
+	local    map[Addr]*mailbox
+	routes   map[string]string
+	conns    map[string]*tcpConn
+	inbound  map[net.Conn]*tcpConn
+	// learned maps sender addresses to the inbound connection they last
+	// arrived on: replies flow back over the same connection, so only
+	// forward paths need static routes (reverse-path learning).
+	learned map[Addr]*tcpConn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPNode listens on listen (e.g. ":7001") and routes remote addresses
+// through the given table. Keys are either full addresses ("shard/2") or
+// address-class prefixes ("shard", "gk", "climgr"). Routes may be extended
+// later with SetRoute (useful when bootstrapping with ":0" listeners).
+func NewTCPNode(listen string, routes map[string]string) (*TCPNode, error) {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	n := &TCPNode{
+		listener: l,
+		local:    make(map[Addr]*mailbox),
+		routes:   make(map[string]string, len(routes)),
+		conns:    make(map[string]*tcpConn),
+		inbound:  make(map[net.Conn]*tcpConn),
+		learned:  make(map[Addr]*tcpConn),
+	}
+	for k, v := range routes {
+		n.routes[k] = v
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// SetRoute adds or replaces one routing entry.
+func (n *TCPNode) SetRoute(prefix, host string) {
+	n.mu.Lock()
+	n.routes[prefix] = host
+	n.mu.Unlock()
+}
+
+// ListenAddr returns the node's bound address (useful with ":0").
+func (n *TCPNode) ListenAddr() string { return n.listener.Addr().String() }
+
+// Close shuts the node down: the listener, all connections, all local
+// mailboxes.
+func (n *TCPNode) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.listener.Close()
+	for _, c := range n.conns {
+		c.c.Close()
+	}
+	for c := range n.inbound {
+		c.Close()
+	}
+	n.learned = make(map[Addr]*tcpConn)
+	for _, box := range n.local {
+		box.close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		tc := &tcpConn{c: conn, enc: gob.NewEncoder(conn)}
+		n.inbound[conn] = tc
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn, tc)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn, tc *tcpConn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		for addr, c := range n.learned {
+			if c == tc {
+				delete(n.learned, addr)
+			}
+		}
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		n.mu.Lock()
+		box := n.local[env.To]
+		n.learned[env.From] = tc
+		n.mu.Unlock()
+		if box != nil {
+			box.push(Message{From: env.From, Payload: env.Payload})
+		}
+	}
+}
+
+// route resolves the remote host for a logical address.
+func (n *TCPNode) route(to Addr) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if host, ok := n.routes[string(to)]; ok {
+		return host, true
+	}
+	for i := 0; i < len(to); i++ {
+		if to[i] == '/' {
+			host, ok := n.routes[string(to[:i])]
+			return host, ok
+		}
+	}
+	return "", false
+}
+
+func (n *TCPNode) conn(host string) (*tcpConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if c, ok := n.conns[host]; ok {
+		return c, nil
+	}
+	raw, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
+	n.conns[host] = c
+	// Connections are full duplex: the peer answers requests over the
+	// same connection (reverse-path learning), so outbound connections
+	// need a read loop too.
+	n.inbound[raw] = c
+	n.wg.Add(1)
+	go n.readLoop(raw, c)
+	return c, nil
+}
+
+type tcpEndpoint struct {
+	addr Addr
+	box  *mailbox
+	n    *TCPNode
+}
+
+// Endpoint registers a local mailbox at addr.
+func (n *TCPNode) Endpoint(addr Addr) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	box := newMailbox()
+	n.local[addr] = box
+	return &tcpEndpoint{addr: addr, box: box, n: n}
+}
+
+func (e *tcpEndpoint) Addr() Addr            { return e.addr }
+func (e *tcpEndpoint) Recv() <-chan struct{} { return e.box.ready }
+func (e *tcpEndpoint) Next() (Message, bool) { return e.box.pop() }
+
+func (e *tcpEndpoint) Close() {
+	e.box.close()
+	e.n.mu.Lock()
+	if e.n.local[e.addr] == e.box {
+		delete(e.n.local, e.addr)
+	}
+	e.n.mu.Unlock()
+}
+
+func (e *tcpEndpoint) Send(to Addr, payload any) error {
+	// Local fast path.
+	e.n.mu.Lock()
+	box := e.n.local[to]
+	e.n.mu.Unlock()
+	if box != nil {
+		if !box.push(Message{From: e.addr, Payload: payload}) {
+			return fmt.Errorf("%w: %s", ErrClosed, to)
+		}
+		return nil
+	}
+	// Prefer the static route; otherwise reply over the connection the
+	// destination last contacted us on.
+	var c *tcpConn
+	if host, ok := e.n.route(to); ok {
+		var err error
+		c, err = e.n.conn(host)
+		if err != nil {
+			return err
+		}
+	} else {
+		e.n.mu.Lock()
+		c = e.n.learned[to]
+		e.n.mu.Unlock()
+		if c == nil {
+			return fmt.Errorf("%w: %s", ErrUnknown, to)
+		}
+	}
+	c.mu.Lock()
+	err := c.enc.Encode(envelope{From: e.addr, To: to, Payload: payload})
+	c.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection; the next send redials (outbound)
+		// or waits for the peer to reconnect (learned).
+		e.n.mu.Lock()
+		for host, cur := range e.n.conns {
+			if cur == c {
+				delete(e.n.conns, host)
+			}
+		}
+		e.n.mu.Unlock()
+		c.c.Close()
+	}
+	return err
+}

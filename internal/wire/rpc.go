@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"encoding/gob"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/oracle"
+	"weaver/internal/transport"
+)
+
+// Request/response messages for the services that live in their own
+// processes under a TCP deployment: the backing store and the timeline
+// oracle. Correlation is by (client address, ID).
+
+// KVOp enumerates remote backing-store operations.
+type KVOp uint8
+
+// The remote KV operations.
+const (
+	KVGet KVOp = iota
+	KVTxBegin
+	KVTxGet
+	KVTxPut
+	KVTxDelete
+	KVTxCommit
+	KVTxAbort
+	KVScan
+)
+
+// KVReq is one backing-store request.
+type KVReq struct {
+	ID     uint64
+	Op     KVOp
+	TxID   uint64 // for tx-scoped ops
+	Key    string
+	Value  []byte
+	Prefix string // for KVScan
+}
+
+// KVResp answers a KVReq.
+type KVResp struct {
+	ID      uint64
+	Value   []byte
+	Version uint64
+	OK      bool
+	TxID    uint64
+	Err     string
+	// Scan results (KVScan): parallel key/value slices.
+	Keys []string
+	Vals [][]byte
+}
+
+// OracleOp enumerates remote timeline-oracle operations.
+type OracleOp uint8
+
+// The remote oracle operations.
+const (
+	OracleQueryOrder OracleOp = iota
+	OracleOrdered
+	OracleAssign
+	OracleGC
+	OracleStats
+)
+
+// OracleReq is one timeline-oracle request.
+type OracleReq struct {
+	ID     uint64
+	Op     OracleOp
+	A, B   oracle.Event
+	Prefer core.Order
+	WM     core.Timestamp
+}
+
+// OracleResp answers an OracleReq.
+type OracleResp struct {
+	ID    uint64
+	Order core.Order
+	Err   string
+	Stats oracle.Stats
+}
+
+// RegisterGob registers every message that may cross a TCP connection.
+// Call once per process before using transport.TCPNode.
+func RegisterGob() {
+	gob.Register(TxForward{})
+	gob.Register(Nop{})
+	gob.Register(Announce{})
+	gob.Register(ProgStart{})
+	gob.Register(ProgHops{})
+	gob.Register(ProgDelta{})
+	gob.Register(ProgFinish{})
+	gob.Register(GCReport{})
+	gob.Register(EpochChange{})
+	gob.Register(EpochAck{})
+	gob.Register(Heartbeat{})
+	gob.Register(KVReq{})
+	gob.Register(KVResp{})
+	gob.Register(OracleReq{})
+	gob.Register(OracleResp{})
+	gob.Register(graph.Op{})
+	gob.Register(core.Timestamp{})
+	gob.Register(transport.Addr(""))
+}

@@ -1,0 +1,112 @@
+// Package wire defines the messages exchanged between Weaver servers over
+// the transport fabric. Payloads are plain structs: the in-process fabric
+// passes them by value, the TCP fabric gob-encodes them.
+package wire
+
+import (
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/transport"
+)
+
+// TxForward carries one committed transaction's operations for a single
+// shard (§4.2: after the backing store commits, the gatekeeper forwards the
+// write-set to the involved shard servers, which apply it without further
+// coordination). Seq restores the FIFO gatekeeper→shard channel.
+type TxForward struct {
+	TS  core.Timestamp
+	Seq uint64
+	Ops []graph.Op
+}
+
+// Nop is a no-op transaction keeping the per-gatekeeper queue at every
+// shard non-empty so node programs make progress under light load (§4.2).
+type Nop struct {
+	TS  core.Timestamp
+	Seq uint64
+}
+
+// Announce is the periodic gatekeeper→gatekeeper vector clock exchange
+// (§3.3), sent every τ.
+type Announce struct {
+	TS core.Timestamp
+}
+
+// ProgStart launches a node program's initial hops on one shard. The
+// gatekeeper that stamped the program acts as coordinator for termination
+// detection and result collection.
+type ProgStart struct {
+	QID         core.ID
+	TS          core.Timestamp
+	Prog        string
+	Params      []byte
+	Hops        []Hop
+	Coordinator transport.Addr
+}
+
+// ProgHops carries propagation hops from one shard to another: the scatter
+// phase of the node program model (§2.3).
+type ProgHops struct {
+	QID         core.ID
+	TS          core.Timestamp
+	Coordinator transport.Addr
+	Hops        []Hop
+}
+
+// Hop is one pending vertex visit: the program to run there, and the
+// parameters passed from the previous hop. ID is unique across the query —
+// the coordinator matches each hop's spawn record against its consumption
+// report, so termination detection is immune to delta reordering (a
+// transient zero of a mere counter would end queries early when a
+// consumption report overtakes the spawn report it answers).
+type Hop struct {
+	ID      uint64
+	Vertex  graph.VertexID
+	Program string
+	Params  []byte
+}
+
+// ProgDelta reports execution progress from a shard to the coordinator:
+// ConsumedIDs are the hops executed locally (with their whole local
+// cascade), SpawnedIDs are new hops forwarded to other shards, Results
+// collects the values returned by program visits.
+type ProgDelta struct {
+	QID         core.ID
+	ConsumedIDs []uint64
+	SpawnedIDs  []uint64
+	Results     [][]byte
+	Err         string
+}
+
+// ProgFinish tells shards the query terminated; per-vertex program state is
+// garbage collected (§4.5).
+type ProgFinish struct {
+	QID core.ID
+}
+
+// GCReport broadcasts a gatekeeper's garbage-collection watermark: a
+// timestamp known to happen-before every operation still in progress at
+// that gatekeeper (§4.5). Shards collect reports from all gatekeepers and
+// prune versions older than the pointwise minimum.
+type GCReport struct {
+	GK int
+	TS core.Timestamp
+}
+
+// EpochChange orders a server into a new epoch during reconfiguration
+// (§4.3). The cluster manager imposes a barrier: servers ack, and the new
+// epoch's traffic starts only after all acks.
+type EpochChange struct {
+	Epoch uint64
+}
+
+// EpochAck confirms a server has entered the epoch.
+type EpochAck struct {
+	Epoch uint64
+	From  transport.Addr
+}
+
+// Heartbeat is the liveness signal servers send to the cluster manager.
+type Heartbeat struct {
+	From transport.Addr
+}

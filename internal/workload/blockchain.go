@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weaver/internal/graph"
+)
+
+// Blockchain is a synthetic Bitcoin-style transaction graph (§5.2, §6.1).
+// Vertices: blocks ("block/<h>"), transactions ("tx/<n>") and addresses
+// ("addr/<n>"). Edges, labeled with a "kind" property:
+//
+//	block/h  -tx->   tx/n      (the block contains the transaction)
+//	block/h  -prev-> block/h-1 (the chain)
+//	tx/n     -in->   tx/m      (n spends an output of m)
+//	tx/n     -out->  addr/a    (n pays address a)
+//
+// Block sizes grow with height, mirroring Bitcoin's history: the paper's
+// Figs 7-8 plot per-block latency/throughput against block height, with
+// cost proportional to transactions per block. TxsInBlock reproduces that
+// growth curve deterministically.
+type Blockchain struct {
+	Blocks    int
+	Txs       int
+	Addresses int
+	seed      int64
+}
+
+// BlockID is the vertex ID of block h.
+func BlockID(h int) graph.VertexID { return graph.VertexID(fmt.Sprintf("block/%d", h)) }
+
+// TxID is the vertex ID of transaction n.
+func TxID(n int) graph.VertexID { return graph.VertexID(fmt.Sprintf("tx/%d", n)) }
+
+// AddrID is the vertex ID of address n.
+func AddrID(n int) graph.VertexID { return graph.VertexID(fmt.Sprintf("addr/%d", n)) }
+
+// NewBlockchain plans a chain with the given number of blocks.
+func NewBlockchain(blocks int, seed int64) *Blockchain {
+	bc := &Blockchain{Blocks: blocks, seed: seed}
+	for h := 0; h < blocks; h++ {
+		bc.Txs += bc.TxsInBlock(h)
+	}
+	bc.Addresses = bc.Txs * 2
+	return bc
+}
+
+// TxsInBlock returns the number of transactions in block h: a deterministic
+// growth curve from 1 tx (genesis era) toward ~maxTx (modern blocks), like
+// Bitcoin's block-size history scaled to the configured chain length.
+func (bc *Blockchain) TxsInBlock(h int) int {
+	const maxTx = 64
+	frac := float64(h) / float64(bc.Blocks)
+	n := 1 + int(frac*frac*maxTx)
+	// Deterministic per-block jitter.
+	j := (h*2654435761 + int(bc.seed)) % 7
+	n += j
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BlockVertex describes one block's content for loading.
+type BlockVertex struct {
+	Block graph.VertexID
+	Prev  graph.VertexID // empty for genesis
+	Txs   []TxVertex
+}
+
+// TxVertex describes one transaction: its inputs (earlier txs whose outputs
+// it spends) and output addresses.
+type TxVertex struct {
+	Tx      graph.VertexID
+	Inputs  []graph.VertexID
+	Outputs []graph.VertexID
+}
+
+// Generate materializes the chain block by block, calling emit for each.
+// Deterministic for a given (blocks, seed).
+func (bc *Blockchain) Generate(emit func(BlockVertex)) {
+	r := rand.New(rand.NewSource(bc.seed))
+	txSeq := 0
+	addrSeq := 0
+	for h := 0; h < bc.Blocks; h++ {
+		bv := BlockVertex{Block: BlockID(h)}
+		if h > 0 {
+			bv.Prev = BlockID(h - 1)
+		}
+		n := bc.TxsInBlock(h)
+		for i := 0; i < n; i++ {
+			tv := TxVertex{Tx: TxID(txSeq)}
+			// Inputs: 1-3 random earlier transactions (none for
+			// coinbase-era txs).
+			if txSeq > 0 {
+				nin := 1 + r.Intn(3)
+				for k := 0; k < nin; k++ {
+					tv.Inputs = append(tv.Inputs, TxID(r.Intn(txSeq)))
+				}
+			}
+			// Outputs: 1-3 addresses, mostly fresh.
+			nout := 1 + r.Intn(3)
+			for k := 0; k < nout; k++ {
+				if addrSeq > 0 && r.Float64() < 0.3 {
+					tv.Outputs = append(tv.Outputs, AddrID(r.Intn(addrSeq)))
+				} else {
+					tv.Outputs = append(tv.Outputs, AddrID(addrSeq))
+					addrSeq++
+				}
+			}
+			txSeq++
+			bv.Txs = append(bv.Txs, tv)
+		}
+		emit(bv)
+	}
+	bc.Addresses = addrSeq
+}

@@ -1,0 +1,203 @@
+// Package workload generates the synthetic datasets and operation mixes
+// used by the evaluation (§6), substituting for the paper's proprietary or
+// oversized inputs while preserving the properties each experiment
+// exercises:
+//
+//   - Blockchain: a deterministic Bitcoin-style transaction graph whose
+//     blocks grow with height, standing in for the real blockchain
+//     (§6.1, Figs 7-8 — the x-axis is block size, which we reproduce).
+//   - Social: a preferential-attachment (power-law) digraph standing in
+//     for the LiveJournal snapshot (§6.2, Figs 9-10 — degree skew is what
+//     stresses the ordering path).
+//   - Random: a uniform random digraph standing in for the Twitter
+//     snapshots (§6.3-6.4, Figs 11-13 — traversal fan-out at reduced
+//     scale).
+//   - TAOMix: Facebook's TAO operation distribution (Table 1).
+//
+// All generators are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weaver/internal/graph"
+)
+
+// Edge is one directed edge in a generated graph.
+type Edge struct {
+	From, To graph.VertexID
+}
+
+// Graph is a generated dataset: vertex IDs and directed edges.
+type Graph struct {
+	Vertices []graph.VertexID
+	Edges    []Edge
+	// Out is the adjacency list (indices into Vertices are not used;
+	// adjacency is by ID).
+	Out map[graph.VertexID][]graph.VertexID
+}
+
+func newGraph(n int) *Graph {
+	return &Graph{Out: make(map[graph.VertexID][]graph.VertexID, n)}
+}
+
+func (g *Graph) addVertex(v graph.VertexID) {
+	g.Vertices = append(g.Vertices, v)
+}
+
+func (g *Graph) addEdge(from, to graph.VertexID) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to})
+	g.Out[from] = append(g.Out[from], to)
+}
+
+// Social generates a directed preferential-attachment graph with n vertices
+// and approximately m out-edges per vertex (Barabási–Albert flavor): new
+// vertices attach to existing ones with probability proportional to their
+// current in-degree, yielding the heavy-tailed degree distribution of real
+// social networks.
+func Social(n, m int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := newGraph(n)
+	// targets is a repeated-vertex pool implementing preferential
+	// attachment: vertices appear once per incident edge.
+	targets := make([]graph.VertexID, 0, 2*n*m)
+	for i := 0; i < n; i++ {
+		v := graph.VertexID(fmt.Sprintf("user/%d", i))
+		g.addVertex(v)
+		k := m
+		if i < m {
+			k = i // early vertices connect to all predecessors
+		}
+		seen := make(map[graph.VertexID]bool, k)
+		for j := 0; j < k; j++ {
+			var to graph.VertexID
+			if len(targets) == 0 {
+				break
+			}
+			for tries := 0; tries < 8; tries++ {
+				to = targets[r.Intn(len(targets))]
+				if to != v && !seen[to] {
+					break
+				}
+			}
+			if to == v || seen[to] {
+				continue
+			}
+			seen[to] = true
+			g.addEdge(v, to)
+			targets = append(targets, to)
+		}
+		targets = append(targets, v)
+	}
+	return g
+}
+
+// Random generates a uniform random digraph with n vertices and e edges
+// between vertices chosen uniformly at random (§6.3: "reachability queries
+// on a small Twitter graph … between vertices chosen uniformly at random").
+func Random(n, e int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := newGraph(n)
+	for i := 0; i < n; i++ {
+		g.addVertex(graph.VertexID(fmt.Sprintf("node/%d", i)))
+	}
+	for i := 0; i < e; i++ {
+		from := g.Vertices[r.Intn(n)]
+		to := g.Vertices[r.Intn(n)]
+		if from == to {
+			continue
+		}
+		g.addEdge(from, to)
+	}
+	return g
+}
+
+// OpKind is one TAO operation (Table 1).
+type OpKind int
+
+// The TAO operations of Table 1.
+const (
+	OpGetEdges OpKind = iota
+	OpCountEdges
+	OpGetNode
+	OpCreateEdge
+	OpDeleteEdge
+)
+
+// String names the operation as in Table 1.
+func (k OpKind) String() string {
+	switch k {
+	case OpGetEdges:
+		return "get_edges"
+	case OpCountEdges:
+		return "count_edges"
+	case OpGetNode:
+		return "get_node"
+	case OpCreateEdge:
+		return "create_edge"
+	case OpDeleteEdge:
+		return "delete_edge"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Mix is an operation distribution: cumulative weights over OpKinds.
+type Mix struct {
+	kinds []OpKind
+	cum   []float64
+}
+
+// NewMix builds a distribution from op→probability pairs (must sum to ~1).
+func NewMix(weights map[OpKind]float64) Mix {
+	var m Mix
+	total := 0.0
+	for _, k := range []OpKind{OpGetEdges, OpCountEdges, OpGetNode, OpCreateEdge, OpDeleteEdge} {
+		w, ok := weights[k]
+		if !ok || w <= 0 {
+			continue
+		}
+		total += w
+		m.kinds = append(m.kinds, k)
+		m.cum = append(m.cum, total)
+	}
+	return m
+}
+
+// Sample draws one operation.
+func (m Mix) Sample(r *rand.Rand) OpKind {
+	x := r.Float64() * m.cum[len(m.cum)-1]
+	for i, c := range m.cum {
+		if x <= c {
+			return m.kinds[i]
+		}
+	}
+	return m.kinds[len(m.kinds)-1]
+}
+
+// TAOMix is the Facebook TAO workload of Table 1: 99.8% reads (get_edges
+// 59.4%, count_edges 11.7%, get_node 28.9% of the read share) and 0.2%
+// writes (create_edge 80%, delete_edge 20% of the write share).
+func TAOMix() Mix {
+	return NewMix(map[OpKind]float64{
+		OpGetEdges:   0.998 * 0.594,
+		OpCountEdges: 0.998 * 0.117,
+		OpGetNode:    0.998 * 0.289,
+		OpCreateEdge: 0.002 * 0.80,
+		OpDeleteEdge: 0.002 * 0.20,
+	})
+}
+
+// ReadMix is a workload with the given read fraction, using TAO's internal
+// read and write proportions (used for the 75%-read benchmark of Fig 9b).
+func ReadMix(readFraction float64) Mix {
+	w := 1 - readFraction
+	return NewMix(map[OpKind]float64{
+		OpGetEdges:   readFraction * 0.594,
+		OpCountEdges: readFraction * 0.117,
+		OpGetNode:    readFraction * 0.289,
+		OpCreateEdge: w * 0.80,
+		OpDeleteEdge: w * 0.20,
+	})
+}

@@ -1,0 +1,113 @@
+package weaver
+
+import (
+	"errors"
+	"fmt"
+
+	"weaver/internal/gatekeeper"
+	"weaver/internal/graph"
+	"weaver/internal/partition"
+)
+
+// Migrate moves a vertex's home to the target shard — the dynamic
+// placement mechanism of §4.6 ("Weaver leverages [locality] by dynamically
+// colocating a vertex with the majority of its neighbors"). The cluster
+// must be opened with a *partition.Mapped directory (Config.Directory), as
+// hash placement has no table to update.
+//
+// Protocol: gatekeepers are paused (no commits in flight, as in the §4.3
+// epoch barrier), the target shard loads the vertex's current record, the
+// backing-store record's home and the directory are updated, and
+// gatekeepers resume. Subsequent writes forward to the target shard and
+// node-program hops route there. Like shard recovery, migration truncates
+// the vertex's in-memory version history to its last committed state: the
+// source shard's copy becomes unreachable and historical reads of the
+// vertex before the migration point are not served by the target.
+func (c *Cluster) Migrate(v VertexID, target int) error {
+	mapped, ok := c.dir.(*partition.Mapped)
+	if !ok {
+		return errors.New("weaver: migration requires Config.Directory to be a *partition.Mapped")
+	}
+	if target < 0 || target >= c.cfg.Shards {
+		return fmt.Errorf("weaver: no such shard %d", target)
+	}
+
+	c.serversMu.RLock()
+	gks := append([]*gatekeeper.Gatekeeper(nil), c.gks...)
+	c.serversMu.RUnlock()
+	for _, gk := range gks {
+		gk.Pause()
+	}
+	defer func() {
+		for _, gk := range gks {
+			gk.Resume()
+		}
+	}()
+
+	data, _, found := c.kv.GetVersioned(gatekeeper.VertexKey(v))
+	if !found {
+		return fmt.Errorf("weaver: migrate %q: no such vertex", v)
+	}
+	rec, err := graph.DecodeRecord(data)
+	if err != nil {
+		return fmt.Errorf("weaver: migrate %q: %w", v, err)
+	}
+	if rec.Deleted {
+		return fmt.Errorf("weaver: migrate %q: vertex deleted", v)
+	}
+	if rec.Shard == target {
+		return nil
+	}
+
+	// Install on the target first, then repoint the durable record and
+	// the directory; gatekeepers are paused, so no write can land in
+	// between.
+	c.shardAt(target).Graph().Load(rec)
+	tx := c.kv.Begin()
+	defer tx.Abort()
+	if _, _, _, err := tx.GetVersioned(gatekeeper.VertexKey(v)); err != nil {
+		return err
+	}
+	rec.Shard = target
+	if err := tx.Put(gatekeeper.VertexKey(v), graph.EncodeRecord(rec)); err != nil {
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("weaver: migrate %q: %w", v, err)
+	}
+	mapped.Assign(v, target)
+	return nil
+}
+
+// RebalanceLDG recomputes placement for the given vertices with the LDG
+// streaming partitioner (§4.6) over their current adjacency and migrates
+// every vertex whose assignment changes. Returns the number migrated.
+func (c *Cluster) RebalanceLDG(vertices []VertexID, slack float64) (int, error) {
+	if _, ok := c.dir.(*partition.Mapped); !ok {
+		return 0, errors.New("weaver: rebalancing requires Config.Directory to be a *partition.Mapped")
+	}
+	ldg := partition.NewLDG(c.cfg.Shards, len(vertices), slack)
+	adj := make(map[VertexID][]VertexID, len(vertices))
+	for _, v := range vertices {
+		rec, _, ok, err := c.gkAt(0).ReadVertex(v)
+		if err != nil || !ok {
+			continue
+		}
+		for _, e := range rec.Edges {
+			adj[v] = append(adj[v], e.To)
+			adj[e.To] = append(adj[e.To], v)
+		}
+	}
+	moved := 0
+	for _, v := range vertices {
+		want := ldg.Place(v, adj[v])
+		if c.dir.Lookup(v) == want {
+			continue
+		}
+		if err := c.Migrate(v, want); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}

@@ -1,0 +1,437 @@
+// Package weaver is a distributed, transactional property-graph database
+// built on refinable timestamps, reproducing the system described in
+// "Weaver: A High-Performance, Transactional Graph Database Based on
+// Refinable Timestamps" (Dubey, Hill, Escriva, Sirer — VLDB 2016).
+//
+// A Cluster assembles the full system in one process: a bank of gatekeepers
+// (vector-clock timestamping, transaction execution on the backing store),
+// shard servers holding the in-memory multi-version graph, a timeline
+// oracle refining concurrent timestamps, and a transactional backing store.
+// Clients execute strictly serializable read-write transactions (Tx) and
+// run node programs — traversal-style read-only queries that see a
+// consistent snapshot of the graph at their timestamp.
+//
+// Quick start:
+//
+//	c, _ := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 2})
+//	defer c.Close()
+//	cl := c.Client()
+//	_, err := cl.RunTx(func(tx *weaver.Tx) error {
+//	    tx.CreateVertex("alice")
+//	    tx.CreateVertex("bob")
+//	    e := tx.CreateEdge("alice", "bob")
+//	    tx.SetEdgeProperty("alice", e, "kind", "follows")
+//	    return nil
+//	})
+//	// ...
+//	ids, _, _ := cl.Traverse("alice", "", "", 0)
+package weaver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weaver/internal/cluster"
+	"weaver/internal/core"
+	"weaver/internal/gatekeeper"
+	"weaver/internal/graph"
+	"weaver/internal/kvstore"
+	"weaver/internal/nodeprog"
+	"weaver/internal/oracle"
+	"weaver/internal/partition"
+	"weaver/internal/shard"
+	"weaver/internal/transport"
+)
+
+// Re-exported identifier types; applications use these to name graph
+// objects.
+type (
+	// VertexID names a vertex, e.g. "user/42".
+	VertexID = graph.VertexID
+	// EdgeID names an edge. Inside an uncommitted transaction, edge IDs
+	// returned by Tx.CreateEdge are placeholders rewritten at commit.
+	EdgeID = graph.EdgeID
+	// Timestamp is a refinable timestamp (vector clock + epoch).
+	Timestamp = core.Timestamp
+)
+
+// ErrConflict is returned when a transaction lost a race with a concurrent
+// conflicting transaction; re-running it (fresh reads) will usually
+// succeed. Client.RunTx does this automatically.
+var ErrConflict = gatekeeper.ErrConflict
+
+// ErrInvalid wraps semantic transaction errors (creating an existing
+// vertex, deleting a missing edge, …). Retrying will not help.
+var ErrInvalid = gatekeeper.ErrInvalid
+
+// Config describes an in-process Weaver cluster.
+type Config struct {
+	// Gatekeepers is the number of timestamping servers (≥1).
+	Gatekeepers int
+	// Shards is the number of graph partition servers (≥1).
+	Shards int
+	// AnnouncePeriod is τ, the vector-clock exchange period between
+	// gatekeepers (§3.3). Default 1ms. Smaller τ orders more transaction
+	// pairs proactively; larger τ shifts work to the timeline oracle
+	// (§6.5, Fig 14).
+	AnnouncePeriod time.Duration
+	// NopPeriod is how often gatekeepers send NOPs to shards, bounding
+	// node-program delay (§4.2). Default 500µs.
+	NopPeriod time.Duration
+	// GCPeriod is the version garbage-collection cadence (§4.5).
+	// Ignored when Retain is set. Default: disabled.
+	GCPeriod time.Duration
+	// Retain keeps the full multi-version history, enabling historical
+	// queries via Client.RunProgramAt (§4.5).
+	Retain bool
+	// ProgTimeout bounds node program execution. Default 30s.
+	ProgTimeout time.Duration
+	// WALPath, when set, makes the backing store durable: committed
+	// transactions are logged and replayed on reopen.
+	WALPath string
+	// Directory overrides vertex placement (default: hash partitioning;
+	// see internal/partition for the LDG streaming partitioner, §4.6).
+	Directory partition.Directory
+	// NetDelayMin/NetDelayMax inject uniform random latency into every
+	// message, simulating a network (tests and experiments).
+	NetDelayMin, NetDelayMax time.Duration
+	// HeartbeatTimeout, when positive, runs the cluster manager (§4.3):
+	// servers send heartbeats and are automatically recovered after this
+	// much silence. Zero disables fault tolerance machinery.
+	HeartbeatTimeout time.Duration
+	// OracleReplicas chain-replicates the timeline oracle across this
+	// many replicas (§3.4); 0 or 1 runs it unreplicated.
+	OracleReplicas int
+	// MaxShardVertices enables demand paging (§6.1): each shard keeps at
+	// most this many resident vertex histories, paging cold vertices out
+	// once the GC watermark passes them and faulting them back in from
+	// the backing store on access. Requires GCPeriod. 0 = unlimited.
+	MaxShardVertices int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Gatekeepers <= 0 {
+		c.Gatekeepers = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Retain {
+		c.GCPeriod = 0
+	}
+	return c, nil
+}
+
+// Cluster is a fully assembled in-process Weaver deployment.
+type Cluster struct {
+	cfg       Config
+	fabric    *transport.Fabric
+	kv        kvstore.Backing
+	orc       oracle.Client
+	reg       *nodeprog.Registry
+	dir       partition.Directory
+	mgr       *cluster.Manager
+	baseEpoch uint64
+
+	serversMu sync.RWMutex
+	gks       []*gatekeeper.Gatekeeper
+	shards    []*shard.Shard
+
+	nextClient atomic.Uint64
+	closed     bool
+}
+
+// Open builds and starts a cluster.
+func Open(cfg Config) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg}
+	c.fabric = transport.NewFabric()
+	if cfg.NetDelayMax > 0 {
+		c.fabric.WithDelay(cfg.NetDelayMin, cfg.NetDelayMax)
+	}
+	if cfg.WALPath != "" {
+		durable, err := kvstore.NewDurable(cfg.WALPath)
+		if err != nil {
+			return nil, fmt.Errorf("weaver: open backing store: %w", err)
+		}
+		c.kv = kvstore.AsBacking(durable)
+	} else {
+		c.kv = kvstore.AsBacking(kvstore.New())
+	}
+	if cfg.OracleReplicas > 1 {
+		c.orc = oracle.NewReplicated(cfg.OracleReplicas)
+	} else {
+		c.orc = oracle.NewService()
+	}
+	c.reg = nodeprog.NewRegistry()
+	c.dir = cfg.Directory
+	if c.dir == nil {
+		c.dir = partition.NewHash(cfg.Shards)
+	}
+
+	heartbeat := time.Duration(0)
+	if cfg.HeartbeatTimeout > 0 {
+		heartbeat = cfg.HeartbeatTimeout / 4
+	}
+	if cfg.WALPath != "" {
+		// Epoch continuity across restarts (§4.3): every timestamp of
+		// the reopened cluster must order after every pre-restart one,
+		// so resume one epoch above the last persisted.
+		if raw, _, ok := c.kv.GetVersioned(epochKey); ok && len(raw) == 8 {
+			for i := 0; i < 8; i++ {
+				c.baseEpoch = c.baseEpoch<<8 | uint64(raw[i])
+			}
+		}
+		c.baseEpoch++
+		buf := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(c.baseEpoch >> (56 - 8*i))
+		}
+		tx := c.kv.Begin()
+		tx.Put(epochKey, buf)
+		if err := tx.Commit(); err != nil {
+			return nil, fmt.Errorf("weaver: persist epoch: %w", err)
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := c.newShard(i, c.baseEpoch)
+		if cfg.WALPath != "" {
+			sh.Recover(c.kv)
+		}
+		c.shards = append(c.shards, sh)
+	}
+	for i := 0; i < cfg.Gatekeepers; i++ {
+		c.gks = append(c.gks, c.newGatekeeper(i, c.baseEpoch))
+	}
+	for _, sh := range c.shards {
+		sh.Start()
+	}
+	for _, gk := range c.gks {
+		gk.Start()
+	}
+	if heartbeat > 0 {
+		c.mgr = cluster.New(cluster.Config{HeartbeatTimeout: cfg.HeartbeatTimeout, StartEpoch: c.baseEpoch},
+			c.fabric.Endpoint(cluster.Addr))
+		for i := range c.shards {
+			i := i
+			c.mgr.Register(transport.ShardAddr(i), false, c.shards[i], func(epoch uint64) cluster.Server {
+				return c.restartShard(i, epoch)
+			})
+		}
+		for i := range c.gks {
+			i := i
+			c.mgr.Register(transport.GatekeeperAddr(i), true, c.gks[i], func(epoch uint64) cluster.Server {
+				return c.restartGatekeeper(i, epoch)
+			})
+		}
+		c.mgr.Start()
+	}
+	return c, nil
+}
+
+// newShard constructs (without starting) the shard server at index i.
+func (c *Cluster) newShard(i int, epoch uint64) *shard.Shard {
+	heartbeat := time.Duration(0)
+	if c.cfg.HeartbeatTimeout > 0 {
+		heartbeat = c.cfg.HeartbeatTimeout / 4
+	}
+	ep := c.fabric.Endpoint(transport.ShardAddr(i))
+	sh := shard.New(shard.Config{
+		ID:              i,
+		NumGatekeepers:  c.cfg.Gatekeepers,
+		Epoch:           epoch,
+		Retain:          c.cfg.Retain,
+		HeartbeatPeriod: heartbeat,
+		MaxVertices:     c.cfg.MaxShardVertices,
+	}, ep, c.orc, c.reg, c.dir)
+	if c.cfg.MaxShardVertices > 0 {
+		sh.SetPager(c.kv)
+	}
+	return sh
+}
+
+// newGatekeeper constructs (without starting) the gatekeeper at index i.
+func (c *Cluster) newGatekeeper(i int, epoch uint64) *gatekeeper.Gatekeeper {
+	heartbeat := time.Duration(0)
+	if c.cfg.HeartbeatTimeout > 0 {
+		heartbeat = c.cfg.HeartbeatTimeout / 4
+	}
+	ep := c.fabric.Endpoint(transport.GatekeeperAddr(i))
+	return gatekeeper.New(gatekeeper.Config{
+		ID:              i,
+		NumGatekeepers:  c.cfg.Gatekeepers,
+		NumShards:       c.cfg.Shards,
+		Epoch:           epoch,
+		AnnouncePeriod:  c.cfg.AnnouncePeriod,
+		NopPeriod:       c.cfg.NopPeriod,
+		GCPeriod:        c.cfg.GCPeriod,
+		ProgTimeout:     c.cfg.ProgTimeout,
+		HeartbeatPeriod: heartbeat,
+	}, ep, c.kv, c.orc, c.dir)
+}
+
+// restartShard replaces a dead shard: a fresh instance recovers its
+// partition from the backing store (§4.3) and rejoins on the same address.
+func (c *Cluster) restartShard(i int, epoch uint64) *shard.Shard {
+	sh := c.newShard(i, epoch)
+	sh.Recover(c.kv)
+	sh.Start()
+	c.serversMu.Lock()
+	c.shards[i] = sh
+	c.serversMu.Unlock()
+	return sh
+}
+
+// restartGatekeeper replaces a dead gatekeeper: its clock restarts at zero
+// in the new epoch, keeping all new timestamps after all old ones (§4.3).
+func (c *Cluster) restartGatekeeper(i int, epoch uint64) *gatekeeper.Gatekeeper {
+	gk := c.newGatekeeper(i, epoch)
+	gk.Start()
+	c.serversMu.Lock()
+	c.gks[i] = gk
+	c.serversMu.Unlock()
+	return gk
+}
+
+// CrashShard stops shard i ungracefully (failure injection). With the
+// cluster manager enabled, it is detected and recovered automatically; or
+// call RecoverNow for deterministic tests.
+func (c *Cluster) CrashShard(i int) {
+	c.shardAt(i).Stop()
+}
+
+// CrashGatekeeper stops gatekeeper i ungracefully (failure injection).
+func (c *Cluster) CrashGatekeeper(i int) {
+	c.gkAt(i).Stop()
+}
+
+// RecoverNow runs the §4.3 reconfiguration for the named server
+// immediately, without waiting for heartbeat timeouts. Requires the
+// cluster manager (Config.HeartbeatTimeout > 0).
+func (c *Cluster) RecoverNow(addr transport.Addr) error {
+	if c.mgr == nil {
+		return errors.New("weaver: cluster manager disabled (set HeartbeatTimeout)")
+	}
+	return c.mgr.Recover(addr)
+}
+
+// ShardAddr and GatekeeperAddr name servers for RecoverNow.
+var (
+	ShardAddr      = transport.ShardAddr
+	GatekeeperAddr = transport.GatekeeperAddr
+)
+
+// Epoch returns the cluster's current epoch.
+func (c *Cluster) Epoch() uint64 {
+	if c.mgr == nil {
+		return c.baseEpoch
+	}
+	return c.mgr.Epoch()
+}
+
+// epochKey persists the cluster epoch in the backing store.
+const epochKey = "meta/epoch"
+
+// Close stops every server and releases the backing store.
+func (c *Cluster) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.mgr != nil {
+		c.mgr.Stop()
+	}
+	c.serversMu.RLock()
+	gks := append([]*gatekeeper.Gatekeeper(nil), c.gks...)
+	shards := append([]*shard.Shard(nil), c.shards...)
+	c.serversMu.RUnlock()
+	for _, gk := range gks {
+		gk.Stop()
+	}
+	for _, sh := range shards {
+		sh.Stop()
+	}
+	return c.kv.Close()
+}
+
+// Registry exposes the node-program registry so applications can register
+// custom programs (do this before running them).
+func (c *Cluster) Registry() *nodeprog.Registry { return c.reg }
+
+// Directory exposes the vertex placement directory.
+func (c *Cluster) Directory() partition.Directory { return c.dir }
+
+// Client returns a client bound to one gatekeeper, chosen round-robin.
+// Clients are not safe for concurrent use, but Client itself is; create one
+// client per goroutine (they are cheap).
+func (c *Cluster) Client() *Client {
+	n := c.nextClient.Add(1) - 1
+	return &Client{c: c, idx: int(n % uint64(c.cfg.Gatekeepers))}
+}
+
+// ClientAt returns a client bound to a specific gatekeeper.
+func (c *Cluster) ClientAt(gk int) (*Client, error) {
+	if gk < 0 || gk >= c.cfg.Gatekeepers {
+		return nil, errors.New("weaver: no such gatekeeper")
+	}
+	return &Client{c: c, idx: gk}, nil
+}
+
+// gkAt returns the current gatekeeper instance at index i (instances are
+// replaced across failover).
+func (c *Cluster) gkAt(i int) *gatekeeper.Gatekeeper {
+	c.serversMu.RLock()
+	defer c.serversMu.RUnlock()
+	return c.gks[i]
+}
+
+// shardAt returns the current shard instance at index i.
+func (c *Cluster) shardAt(i int) *shard.Shard {
+	c.serversMu.RLock()
+	defer c.serversMu.RUnlock()
+	return c.shards[i]
+}
+
+// Stats aggregates activity counters across the cluster.
+type Stats struct {
+	Gatekeepers []gatekeeper.Stats
+	Shards      []shard.Stats
+	Oracle      oracle.Stats
+	Store       kvstore.Stats
+}
+
+// Stats returns a snapshot of all counters.
+func (c *Cluster) Stats() Stats {
+	st := Stats{Oracle: c.orc.Stats(), Store: c.kv.Stats()}
+	c.serversMu.RLock()
+	defer c.serversMu.RUnlock()
+	for _, gk := range c.gks {
+		st.Gatekeepers = append(st.Gatekeepers, gk.Stats())
+	}
+	for _, sh := range c.shards {
+		st.Shards = append(st.Shards, sh.Stats())
+	}
+	return st
+}
+
+// TotalAnnounces sums gatekeeper announce messages (Fig 14's proactive
+// coordination metric).
+func (s Stats) TotalAnnounces() uint64 {
+	var n uint64
+	for _, g := range s.Gatekeepers {
+		n += g.Announces
+	}
+	return n
+}
+
+// TotalOracleMessages sums timeline-oracle requests (Fig 14's reactive
+// coordination metric).
+func (s Stats) TotalOracleMessages() uint64 {
+	return s.Oracle.Queries + s.Oracle.Assigns
+}
