@@ -56,6 +56,7 @@ func main() {
 		nop        = flag.Duration("nop", 500*time.Microsecond, "NOP period")
 		wal        = flag.String("wal", "", "WAL path for a durable store (role=store)")
 		oracleReps = flag.Int("oracle-replicas", 1, "chain replication factor for the oracle (role=store)")
+		workers    = flag.Int("workers", 0, "apply worker-pool size for conflict-aware parallel execution (role=shard; 0 or 1 = serial)")
 	)
 	flag.Parse()
 	wire.RegisterGob()
@@ -116,12 +117,16 @@ func main() {
 		defer orc.Close()
 		kv := remote.NewKVClient(node.Endpoint(transport.Addr(fmt.Sprintf("shkv/%d", *id))), "kv", 10*time.Second)
 		defer kv.Close()
-		sh := shard.New(shard.Config{ID: *id, NumGatekeepers: *gks},
+		sh := shard.New(shard.Config{ID: *id, NumGatekeepers: *gks, Workers: *workers},
 			node.Endpoint(transport.ShardAddr(*id)), orc, reg, dir)
 		n := sh.Recover(kv)
 		sh.Start()
 		defer sh.Stop()
-		log.Printf("shard %d ready (%d vertices recovered)", *id, n)
+		mode := "serial apply"
+		if *workers > 1 {
+			mode = fmt.Sprintf("%d apply workers", *workers)
+		}
+		log.Printf("shard %d ready (%d vertices recovered, %s)", *id, n, mode)
 		waitForSignal()
 
 	case "gatekeeper":

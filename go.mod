@@ -1,0 +1,3 @@
+module weaver
+
+go 1.24

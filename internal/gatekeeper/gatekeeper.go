@@ -20,6 +20,7 @@ package gatekeeper
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,6 +116,8 @@ type Stats struct {
 	TxConflicts   uint64
 	TxInvalid     uint64
 	TxRetries     uint64
+	TxApplied     uint64 // shard apply acknowledgements received
+	ApplyPending  uint64 // forwarded write-sets not yet acknowledged
 	Announces     uint64
 	Nops          uint64
 	ProgsStarted  uint64
@@ -165,6 +168,8 @@ type Gatekeeper struct {
 	txConflicts   atomic.Uint64
 	txInvalid     atomic.Uint64
 	txRetries     atomic.Uint64
+	txApplied     atomic.Uint64
+	applyPending  atomic.Int64
 	announces     atomic.Uint64
 	nops          atomic.Uint64
 	progsStarted  atomic.Uint64
@@ -243,6 +248,8 @@ func (g *Gatekeeper) Stats() Stats {
 		TxConflicts:   g.txConflicts.Load(),
 		TxInvalid:     g.txInvalid.Load(),
 		TxRetries:     g.txRetries.Load(),
+		TxApplied:     g.txApplied.Load(),
+		ApplyPending:  uint64(max(g.applyPending.Load(), 0)),
 		Announces:     g.announces.Load(),
 		Nops:          g.nops.Load(),
 		ProgsStarted:  g.progsStarted.Load(),
@@ -253,6 +260,40 @@ func (g *Gatekeeper) Stats() Stats {
 
 // ID returns the gatekeeper index.
 func (g *Gatekeeper) ID() int { return g.cfg.ID }
+
+// Quiesce blocks until every write-set this gatekeeper has forwarded has
+// been acknowledged as applied by its shard (wire.TxApplied), or the
+// timeout expires. It is the apply fence behind Cluster.Quiesce: commit
+// makes a transaction durable and strictly ordered, Quiesce additionally
+// guarantees the in-memory graphs have caught up — useful for
+// benchmarking the shard apply path and for tests that inspect shard
+// state directly. Acks are counted, not sequenced, so out-of-order
+// completion inside a parallel apply batch needs no special handling.
+func (g *Gatekeeper) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	// Deliberate poll (the fence is a test/bench tool, not a hot path),
+	// with backoff so a long drain does not spin: 50µs keeps short fences
+	// snappy, the 1ms cap bounds wakeups during big backlogs.
+	wait := 50 * time.Microsecond
+	for {
+		if g.applyPending.Load() <= 0 {
+			return nil
+		}
+		select {
+		case <-g.stop:
+			return ErrStopped
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gatekeeper %d: quiesce timeout: %d applies outstanding",
+				g.cfg.ID, g.applyPending.Load())
+		}
+		time.Sleep(wait)
+		if wait < time.Millisecond {
+			wait *= 2
+		}
+	}
+}
 
 // Now returns the clock's current value without advancing it.
 func (g *Gatekeeper) Now() core.Timestamp {
@@ -271,12 +312,16 @@ func (g *Gatekeeper) Snapshot() core.Timestamp {
 }
 
 // AdvanceEpoch moves the clock into a new epoch (cluster manager barrier,
-// §4.3) and resets FIFO sequence numbering toward the shards.
+// §4.3) and resets FIFO sequence numbering toward the shards. Apply
+// accounting resets with it: the barrier's drain means every pre-epoch
+// forward has been applied, and any ack still in flight carries the old
+// epoch and is ignored.
 func (g *Gatekeeper) AdvanceEpoch(epoch uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.clock.AdvanceEpoch(epoch)
 	g.seq.Reset()
+	g.applyPending.Store(0)
 }
 
 func (g *Gatekeeper) tickerLoop(period time.Duration, fn func()) {
@@ -316,6 +361,33 @@ func (g *Gatekeeper) handle(msg transport.Message) {
 	case wire.Announce:
 		g.mu.Lock()
 		g.clock.Observe(m.TS)
+		g.mu.Unlock()
+	case wire.TxApplied:
+		n := int64(m.Count)
+		if n <= 0 {
+			n = 1
+		}
+		g.txApplied.Add(uint64(n))
+		// Apply accounting is per epoch: AdvanceEpoch zeroes the counter
+		// (the §4.3 barrier executes every queued transaction), so an ack
+		// stamped with an earlier epoch — from a pre-barrier write-set, or
+		// one forwarded by this gatekeeper's previous incarnation — must
+		// not consume a current-epoch pending. The epoch check and the
+		// decrement stay under one mu hold so an epoch bump cannot slip
+		// between them; the zero clamp is a last resort against double
+		// acks.
+		g.mu.Lock()
+		if m.TS.Epoch == g.clock.Peek().Epoch {
+			for {
+				cur := g.applyPending.Load()
+				if cur <= 0 {
+					break
+				}
+				if g.applyPending.CompareAndSwap(cur, cur-min(cur, n)) {
+					break
+				}
+			}
+		}
 		g.mu.Unlock()
 	case wire.ProgDelta:
 		g.handleProgDelta(m, msg.From)

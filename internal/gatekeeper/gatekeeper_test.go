@@ -2,6 +2,7 @@ package gatekeeper
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -226,5 +227,108 @@ func TestEnterEpochRestartsClock(t *testing.T) {
 	}
 	if !res.TS.Before(res2.TS) {
 		t.Fatal("epoch ordering broken")
+	}
+}
+
+// TestQuiesceWaitsForApplyAcks checks the apply-fence accounting: a commit
+// leaves one outstanding apply per involved shard, Quiesce blocks until
+// the shards' TxApplied acks arrive (in any order — batch completion is
+// unordered), and stale acks never drive the counter negative.
+func TestQuiesceWaitsForApplyAcks(t *testing.T) {
+	r := newRig(t, 1, 2)
+	// Two vertices on different shards: two outstanding applies.
+	h := partition.NewHash(2)
+	var va, vb graph.VertexID
+	for i := 0; ; i++ {
+		v := graph.VertexID(fmt.Sprintf("v%d", i))
+		if va == "" && h.Lookup(v) == 0 {
+			va = v
+		} else if vb == "" && h.Lookup(v) == 1 {
+			vb = v
+		}
+		if va != "" && vb != "" {
+			break
+		}
+	}
+	res, err := r.gk.CommitTx(nil, []graph.Op{
+		{Kind: graph.OpCreateVertex, Vertex: va},
+		{Kind: graph.OpCreateVertex, Vertex: vb},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.gk.Stats(); st.ApplyPending != 2 {
+		t.Fatalf("want 2 outstanding applies, got %+v", st)
+	}
+	if err := r.gk.Quiesce(5 * time.Millisecond); err == nil {
+		t.Fatal("quiesce succeeded with acks outstanding")
+	}
+	// Shards ack out of order relative to shard index.
+	drv := r.f.Endpoint("fake-shard")
+	drv.Send(transport.GatekeeperAddr(0), wire.TxApplied{TS: res.TS, Shard: 1})
+	drv.Send(transport.GatekeeperAddr(0), wire.TxApplied{TS: res.TS, Shard: 0})
+	if err := r.gk.Quiesce(3 * time.Second); err != nil {
+		t.Fatalf("quiesce after acks: %v", err)
+	}
+	if st := r.gk.Stats(); st.ApplyPending != 0 || st.TxApplied != 2 {
+		t.Fatalf("ack accounting wrong: %+v", st)
+	}
+	// A stale ack (e.g. forwarded by a pre-failover incarnation) clamps.
+	drv.Send(transport.GatekeeperAddr(0), wire.TxApplied{TS: res.TS, Shard: 0})
+	deadline := time.Now().Add(3 * time.Second)
+	for r.gk.Stats().TxApplied != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stale ack never processed: %+v", r.gk.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if st := r.gk.Stats(); st.ApplyPending != 0 {
+		t.Fatalf("stale ack drove counter negative: %+v", st)
+	}
+	if err := r.gk.Quiesce(time.Second); err != nil {
+		t.Fatalf("quiesce after stale ack: %v", err)
+	}
+}
+
+// TestApplyAccountingIsEpochScoped checks the failover half of the apply
+// fence: advancing the epoch (the §4.3 barrier drained every older
+// forward) zeroes the outstanding count, and acks stamped with an earlier
+// epoch never consume a current-epoch pending — so a Quiesce on a new
+// incarnation cannot be satisfied by a predecessor's stragglers.
+func TestApplyAccountingIsEpochScoped(t *testing.T) {
+	r := newRig(t, 1, 1)
+	res, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.gk.Stats(); st.ApplyPending != 1 {
+		t.Fatalf("want 1 pending, got %+v", st)
+	}
+	// Barrier: the outstanding old-epoch apply no longer counts.
+	r.gk.EnterEpoch(5)
+	if st := r.gk.Stats(); st.ApplyPending != 0 {
+		t.Fatalf("epoch bump did not reset pending: %+v", st)
+	}
+	// New-epoch commit, then a stale old-epoch ack arrives first: it must
+	// not consume the new pending.
+	res2, err := r.gk.CommitTx(nil, []graph.Op{{Kind: graph.OpSetVertexProp, Vertex: "v", Key: "k", Value: "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := r.f.Endpoint("fake-shard")
+	drv.Send(transport.GatekeeperAddr(0), wire.TxApplied{TS: res.TS, Shard: 0}) // stale epoch
+	deadline := time.Now().Add(3 * time.Second)
+	for r.gk.Stats().TxApplied < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stale ack never processed: %+v", r.gk.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := r.gk.Quiesce(5 * time.Millisecond); err == nil {
+		t.Fatal("stale-epoch ack satisfied a current-epoch fence")
+	}
+	drv.Send(transport.GatekeeperAddr(0), wire.TxApplied{TS: res2.TS, Shard: 0})
+	if err := r.gk.Quiesce(3 * time.Second); err != nil {
+		t.Fatalf("quiesce after current-epoch ack: %v", err)
 	}
 }

@@ -123,12 +123,25 @@ func (g *Gatekeeper) reserve() reservation {
 
 // forward delivers a committed transaction's write-set: involved shards
 // get the operations, the rest get a NOP occupying the reserved slot (and
-// usefully advancing their frontier past this timestamp).
+// usefully advancing their frontier past this timestamp). Every TxForward
+// is tracked as an outstanding apply until the shard's TxApplied ack comes
+// back (Quiesce); the counter must cover ALL involved shards before the
+// first send — a fast ack from shard 0 must not let the fence observe
+// zero while shard 1's write-set is still unsent.
 func (g *Gatekeeper) forward(rsv reservation, shardOps map[int][]graph.Op) {
+	involved := int64(0)
+	for s := 0; s < g.cfg.NumShards; s++ {
+		if len(shardOps[s]) > 0 {
+			involved++
+		}
+	}
+	g.applyPending.Add(involved)
 	for s := 0; s < g.cfg.NumShards; s++ {
 		addr := transport.ShardAddr(s)
 		if ops := shardOps[s]; len(ops) > 0 {
-			g.ep.Send(addr, wire.TxForward{TS: rsv.ts, Seq: rsv.seqs[s], Ops: ops})
+			if g.ep.Send(addr, wire.TxForward{TS: rsv.ts, Seq: rsv.seqs[s], Ops: ops}) != nil {
+				g.applyPending.Add(-1) // undelivered: no ack will come
+			}
 		} else {
 			g.ep.Send(addr, wire.Nop{TS: rsv.ts, Seq: rsv.seqs[s]})
 		}

@@ -1,0 +1,42 @@
+package graph
+
+// Conflict footprints. Every write operation mutates exactly one vertex
+// chain — op.Vertex — even for edge operations (an edge lives with its
+// owning vertex; To is stored as data, never dereferenced at apply time).
+// Two transactions therefore conflict at a shard iff their vertex
+// footprints intersect. Shards use this to batch mutually non-conflicting
+// transactions for parallel apply: refinable timestamps only constrain the
+// order of conflicting transactions (§4.1–4.2), so disjoint-footprint
+// transactions may execute concurrently without changing any observable
+// serialization.
+
+// Footprint is the set of vertices a transaction's operations mutate.
+type Footprint map[VertexID]struct{}
+
+// AddOps extends the footprint with every vertex mutated by ops.
+func (f Footprint) AddOps(ops []Op) {
+	for i := range ops {
+		f[ops[i].Vertex] = struct{}{}
+	}
+}
+
+// OverlapsOps reports whether any op in ops mutates a vertex already in
+// the footprint.
+func (f Footprint) OverlapsOps(ops []Op) bool {
+	if len(f) == 0 {
+		return false
+	}
+	for i := range ops {
+		if _, ok := f[ops[i].Vertex]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// FootprintOf returns the footprint of one op list.
+func FootprintOf(ops []Op) Footprint {
+	f := make(Footprint, len(ops))
+	f.AddOps(ops)
+	return f
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randOps builds a random op list over a small vertex universe, biased
+// toward collisions so conflict detection is actually exercised.
+func randOps(r *rand.Rand, maxLen, universe int) []Op {
+	n := r.Intn(maxLen + 1)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		v := VertexID(fmt.Sprintf("v%d", r.Intn(universe)))
+		kind := OpKind(r.Intn(8))
+		ops = append(ops, Op{
+			Kind:   kind,
+			Vertex: v,
+			Edge:   EdgeID(fmt.Sprintf("e%d", r.Intn(4))),
+			To:     VertexID(fmt.Sprintf("v%d", r.Intn(universe))), // data, not footprint
+			Key:    "k",
+		})
+	}
+	return ops
+}
+
+// vertexSet is the reference model: the set of op.Vertex values.
+func vertexSet(ops []Op) map[VertexID]bool {
+	m := make(map[VertexID]bool)
+	for _, op := range ops {
+		m[op.Vertex] = true
+	}
+	return m
+}
+
+// TestFootprintMatchesModel property-checks AddOps against the reference
+// set model: exactly the mutated vertices, never To/Edge names.
+func TestFootprintMatchesModel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		ops := randOps(r, 12, 6)
+		fp := make(Footprint)
+		fp.AddOps(ops)
+		want := vertexSet(ops)
+		if len(fp) != len(want) {
+			t.Fatalf("trial %d: footprint size %d, want %d (%v vs %v)", trial, len(fp), len(want), fp, want)
+		}
+		for v := range want {
+			if _, ok := fp[v]; !ok {
+				t.Fatalf("trial %d: footprint missing %q", trial, v)
+			}
+		}
+	}
+}
+
+// TestOverlapsOpsMatchesIntersection property-checks OverlapsOps (the
+// conflict predicate the shard batch selector relies on) against set
+// intersection, including symmetry and the empty cases.
+func TestOverlapsOpsMatchesIntersection(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	conflict := func(a, b []Op) bool {
+		fp := make(Footprint)
+		fp.AddOps(a)
+		return fp.OverlapsOps(b)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randOps(r, 10, 5), randOps(r, 10, 5)
+		av, bv := vertexSet(a), vertexSet(b)
+		want := false
+		for v := range av {
+			if bv[v] {
+				want = true
+				break
+			}
+		}
+		if got := conflict(a, b); got != want {
+			t.Fatalf("trial %d: conflict=%v want %v\na=%v\nb=%v", trial, got, want, a, b)
+		}
+		if conflict(a, b) != conflict(b, a) {
+			t.Fatalf("trial %d: conflict predicate not symmetric", trial)
+		}
+	}
+}
+
+// TestFootprintOverlapsIncremental checks the incremental AddOps/
+// OverlapsOps pair the shard batch selector uses: once any op list joins
+// the footprint, every op list sharing a vertex with it must report an
+// overlap, and disjoint lists must not.
+func TestFootprintOverlapsIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		fp := make(Footprint)
+		model := make(map[VertexID]bool)
+		for step := 0; step < 8; step++ {
+			ops := randOps(r, 8, 6)
+			want := false
+			for v := range vertexSet(ops) {
+				if model[v] {
+					want = true
+					break
+				}
+			}
+			if got := fp.OverlapsOps(ops); got != want {
+				t.Fatalf("trial %d step %d: OverlapsOps=%v want %v", trial, step, got, want)
+			}
+			if !want { // batch it, as the selector would
+				fp.AddOps(ops)
+				for v := range vertexSet(ops) {
+					model[v] = true
+				}
+			}
+		}
+	}
+}

@@ -60,11 +60,19 @@ func (c *chain) latest() *Vertex {
 }
 
 // Store is the multi-version graph held in memory by one shard server.
-// A single RWMutex guards it: transactional writes (applied one at a time
-// by the shard's event loop) take the write lock briefly per operation,
-// while node-program vertex visits take the read lock per visit. Because
+// A single RWMutex guards the vertex map's physical structure. Because
 // every object is versioned, readers never block on logical conflicts —
-// this lock only protects physical map/slice structure.
+// the lock only protects physical map/slice structure.
+//
+// Locking discipline for parallel apply: operations that may insert a new
+// chain into the map (create_vertex, Load) take the write lock; every
+// other Apply mutates exactly one existing chain and takes only the read
+// lock. That makes concurrent Apply calls safe if and only if their vertex
+// footprints are disjoint (see Footprint) — the shard's conflict-aware
+// batch selection guarantees this, and its batch barrier guarantees
+// node-program View reads never overlap an in-flight batch. Callers
+// outside the shard event loop must not read chains (View, Vertex) while
+// a concurrent Apply is possible.
 type Store struct {
 	mu       sync.RWMutex
 	vertices map[VertexID]*chain
@@ -86,9 +94,58 @@ func (s *Store) NumVertices() int {
 // timestamp ts. Operations arrive pre-validated by the gatekeeper against
 // the backing store (§4.2), so failures here indicate an ordering bug; they
 // are returned for the shard to surface loudly.
+// Concurrent Apply calls are permitted only for operations with disjoint
+// vertex footprints: create_vertex takes the exclusive lock (it may insert
+// into the vertex map), all other kinds mutate a single existing chain
+// under the shared lock.
 func (s *Store) Apply(op Op, ts core.Timestamp) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if op.Kind == OpCreateVertex {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return s.applyLocked(op, ts)
+}
+
+// ApplyTx applies one whole transaction under a single lock acquisition —
+// the shard apply hot path. The exclusive lock is taken only when the
+// transaction may insert into the vertex map (create_vertex); otherwise
+// concurrent ApplyTx calls with disjoint footprints run fully in parallel
+// under the shared lock. Failed operations are reported through onErr;
+// the return value counts successful applies.
+func (s *Store) ApplyTx(ops []Op, ts core.Timestamp, onErr func(Op, error)) int {
+	exclusive := false
+	for i := range ops {
+		if ops[i].Kind == OpCreateVertex {
+			exclusive = true
+			break
+		}
+	}
+	if exclusive {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	applied := 0
+	for i := range ops {
+		if err := s.applyLocked(ops[i], ts); err != nil {
+			if onErr != nil {
+				onErr(ops[i], err)
+			}
+		} else {
+			applied++
+		}
+	}
+	return applied
+}
+
+// applyLocked executes one operation; the caller holds mu (exclusively for
+// create_vertex, shared otherwise — see Store's locking discipline).
+func (s *Store) applyLocked(op Op, ts core.Timestamp) error {
 	if ch := s.vertices[op.Vertex]; ch != nil && !ch.loadedAt.Zero() {
 		if cmp := ts.Compare(ch.loadedAt); cmp == core.Before || cmp == core.Equal {
 			// The chain was loaded from a record that already includes

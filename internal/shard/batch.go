@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"sync"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// Conflict-aware parallel transaction execution. Refinable timestamps only
+// constrain the order of *conflicting* transactions (§4.1–4.2): once the
+// head-of-queue ordering logic has proven a transaction executable, any
+// further executable transaction whose vertex footprint is disjoint from
+// everything already selected can run concurrently with it — the result is
+// indistinguishable from executing the batch in timestamp order, because
+// disjoint-footprint apply operations commute and every write lands in the
+// multi-version store stamped with its own timestamp. Conflicting
+// transactions are never batched together, so they still apply in
+// timestamp order across batches.
+//
+// The event loop selects a batch, hands it to a fixed worker pool, and
+// blocks until the whole batch has applied (a barrier). The barrier keeps
+// the rest of the shard single-threaded: node programs, epoch changes, and
+// GC only ever run between batches, so the multi-version store is read
+// only when no apply is in flight (the contract graph.Store.Apply
+// documents).
+
+// selectBatch pops every currently-executable queue head whose footprint
+// is disjoint from the batch so far, up to max transactions. A head that
+// conflicts with the batch stays queued — and because executable()
+// compares candidates against the live queue heads, nothing that must
+// order after a blocked head can slip into the batch past it.
+func (s *Shard) selectBatch(max int) []queued {
+	var batch []queued
+	// Footprint tracking only pays for itself when a batch can hold more
+	// than one transaction; the serial path (max == 1) skips it entirely,
+	// and allocation waits for the first pop so the empty selectBatch call
+	// ending every pump costs nothing.
+	var fp graph.Footprint
+	for {
+		picked := false
+		for gk := range s.queues {
+			for len(s.queues[gk]) > 0 && len(batch) < max {
+				h := s.queues[gk][0]
+				if fp.OverlapsOps(h.ops) || !s.executable(h.ts, gk) {
+					break
+				}
+				s.queues[gk] = s.queues[gk][1:]
+				if max > 1 {
+					if fp == nil {
+						fp = make(graph.Footprint)
+					}
+					fp.AddOps(h.ops)
+				}
+				batch = append(batch, h)
+				picked = true
+			}
+		}
+		if !picked || len(batch) >= max {
+			return batch
+		}
+	}
+}
+
+// applyBatch executes one batch: inline when it is a single transaction or
+// the pool is disabled, otherwise fanned out to the worker pool with a
+// completion barrier. Acknowledgement is the caller's job (pump and
+// drainAllQueued coalesce acks across the whole drain via ackSet).
+func (s *Shard) applyBatch(batch []queued) {
+	s.applyBatches.Add(1)
+	if n := uint64(len(batch)); n > s.maxBatchTx.Load() {
+		s.maxBatchTx.Store(n)
+	}
+	if len(batch) > 1 && s.pool != nil {
+		var wg sync.WaitGroup
+		wg.Add(len(batch))
+		for _, q := range batch {
+			s.pool.submit(applyJob{q: q, wg: &wg})
+		}
+		wg.Wait()
+	} else {
+		for _, q := range batch {
+			s.apply(q)
+		}
+	}
+}
+
+// ackSet accumulates apply acknowledgements per owning gatekeeper across
+// one event-loop drain, so the hot path pays one counted TxApplied per
+// (drain, gatekeeper) rather than one per transaction — acks are counted,
+// not sequenced, so coalescing loses nothing. All queued traffic shares
+// one epoch (epoch changes happen at full-drain barriers), so any member
+// timestamp carries the right epoch for the owner's epoch-scoped
+// accounting.
+type ackSet map[int]ownerAck
+
+type ownerAck struct {
+	ts core.Timestamp
+	n  int
+}
+
+func (a *ackSet) add(batch []queued) {
+	if *a == nil {
+		*a = make(ackSet, 2)
+	}
+	for _, q := range batch {
+		oa := (*a)[q.ts.Owner]
+		oa.ts, oa.n = q.ts, oa.n+1
+		(*a)[q.ts.Owner] = oa
+	}
+}
+
+func (a ackSet) flush(s *Shard) {
+	for owner, oa := range a {
+		s.ep.Send(transport.GatekeeperAddr(owner), wire.TxApplied{TS: oa.ts, Shard: s.cfg.ID, Count: oa.n})
+	}
+}
+
+type applyJob struct {
+	q  queued
+	wg *sync.WaitGroup
+}
+
+// workerPool is a fixed set of apply goroutines fed over a channel. It
+// exists for the lifetime of the shard; the per-batch barrier lives in
+// applyBatch, not here.
+type workerPool struct {
+	jobs     chan applyJob
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// newWorkerPool starts n apply workers for s.
+func newWorkerPool(s *Shard, n int) *workerPool {
+	p := &workerPool{jobs: make(chan applyJob, n*2)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				s.apply(job.q)
+				job.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) submit(j applyJob) { p.jobs <- j }
+
+// stop ends the workers; idempotent, since Shard.Stop may run more than
+// once (failure injection then Close). Callers must ensure no batch is in
+// flight (the event loop has exited).
+func (p *workerPool) stop() {
+	p.stopOnce.Do(func() {
+		close(p.jobs)
+		p.wg.Wait()
+	})
+}

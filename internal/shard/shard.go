@@ -13,6 +13,14 @@
 // frontier already past it. NOPs never enqueue; they only advance the
 // frontier (§4.2).
 //
+// Execution is conflict-aware parallel (see batch.go): after the earliest
+// executable head is found, further executable heads with disjoint vertex
+// footprints join the same batch and apply concurrently on a worker pool
+// (Config.Workers); conflicting transactions land in separate batches and
+// therefore still apply in timestamp order. Each applied transaction is
+// acknowledged to its gatekeeper with a TxApplied message, enabling
+// cluster-wide apply fences (gatekeeper Quiesce).
+//
 // Node programs (§4.1) wait until every frontier and every queued
 // transaction is strictly after the program's timestamp — i.e. until all
 // preceding and concurrent transactions have executed — then read the
@@ -64,6 +72,14 @@ type Config struct {
 	// demand paging in Weaver to read vertices and edges from HyperDex
 	// Warp in to the memory of Weaver shards"). 0 = unlimited.
 	MaxVertices int
+	// Workers sets the apply worker-pool size for conflict-aware parallel
+	// transaction execution (batch.go). 0 or 1 applies serially on the
+	// event loop, exactly as the original single-goroutine design.
+	Workers int
+	// MaxBatch caps how many mutually non-conflicting transactions one
+	// parallel batch may contain, bounding the latency of the batch
+	// barrier. 0 = 256. Ignored when Workers <= 1.
+	MaxBatch int
 }
 
 // Pager reads vertex records for demand paging; satisfied by
@@ -74,19 +90,22 @@ type Pager interface {
 
 // Stats counts shard activity.
 type Stats struct {
-	TxExecuted   uint64
-	OpsApplied   uint64
-	ApplyErrors  uint64
-	NopsSeen     uint64
-	ProgVisits   uint64
-	ProgBatches  uint64
-	OrderQueries uint64 // oracle consultations for head ordering
-	ReadRefines  uint64 // oracle consultations for version visibility
-	CacheHits    uint64 // ordering answers served from the local cache
-	GCCollected  uint64
-	VersionsLive uint64
-	PagedIn      uint64
-	PagedOut     uint64
+	TxExecuted     uint64
+	OpsApplied     uint64
+	ApplyErrors    uint64
+	ApplyBatches   uint64 // conflict-free batches executed (parallel or inline)
+	MaxBatchTx     uint64 // largest batch selected so far
+	OrderFallbacks uint64 // barrier drains of conflicting txs without proven order (oracle down)
+	NopsSeen       uint64
+	ProgVisits     uint64
+	ProgBatches    uint64
+	OrderQueries   uint64 // oracle consultations for head ordering
+	ReadRefines    uint64 // oracle consultations for version visibility
+	CacheHits      uint64 // ordering answers served from the local cache
+	GCCollected    uint64
+	VersionsLive   uint64
+	PagedIn        uint64
+	PagedOut       uint64
 }
 
 type queued struct {
@@ -121,6 +140,7 @@ type Shard struct {
 	orderCache map[[2]core.ID]core.Order
 	gcReports  map[int]core.Timestamp
 	pager      Pager
+	pool       *workerPool
 	pagedIn    atomic.Uint64
 	pagedOut   atomic.Uint64
 
@@ -132,16 +152,19 @@ type Shard struct {
 	stopOnce func()
 	done     chan struct{}
 
-	txExecuted   atomic.Uint64
-	opsApplied   atomic.Uint64
-	applyErrors  atomic.Uint64
-	nopsSeen     atomic.Uint64
-	progVisits   atomic.Uint64
-	progBatches  atomic.Uint64
-	orderQueries atomic.Uint64
-	readRefines  atomic.Uint64
-	cacheHits    atomic.Uint64
-	gcCollected  atomic.Uint64
+	txExecuted     atomic.Uint64
+	opsApplied     atomic.Uint64
+	applyErrors    atomic.Uint64
+	applyBatches   atomic.Uint64
+	maxBatchTx     atomic.Uint64
+	orderFallbacks atomic.Uint64
+	nopsSeen       atomic.Uint64
+	progVisits     atomic.Uint64
+	progBatches    atomic.Uint64
+	orderQueries   atomic.Uint64
+	readRefines    atomic.Uint64
+	cacheHits      atomic.Uint64
+	gcCollected    atomic.Uint64
 }
 
 // New wires a shard server. Call Start to launch its event loop.
@@ -151,6 +174,9 @@ func New(cfg Config, ep transport.Endpoint, orc oracle.Client, reg *nodeprog.Reg
 	}
 	if cfg.ManagerAddr == "" {
 		cfg.ManagerAddr = "climgr"
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
 	}
 	s := &Shard{
 		cfg:        cfg,
@@ -193,19 +219,22 @@ func (s *Shard) Graph() *graph.Store { return s.g }
 // Stats returns a snapshot of activity counters.
 func (s *Shard) Stats() Stats {
 	return Stats{
-		TxExecuted:   s.txExecuted.Load(),
-		OpsApplied:   s.opsApplied.Load(),
-		ApplyErrors:  s.applyErrors.Load(),
-		NopsSeen:     s.nopsSeen.Load(),
-		ProgVisits:   s.progVisits.Load(),
-		ProgBatches:  s.progBatches.Load(),
-		OrderQueries: s.orderQueries.Load(),
-		ReadRefines:  s.readRefines.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		GCCollected:  s.gcCollected.Load(),
-		VersionsLive: uint64(s.g.NumVertices()),
-		PagedIn:      s.pagedIn.Load(),
-		PagedOut:     s.pagedOut.Load(),
+		TxExecuted:     s.txExecuted.Load(),
+		OpsApplied:     s.opsApplied.Load(),
+		ApplyErrors:    s.applyErrors.Load(),
+		ApplyBatches:   s.applyBatches.Load(),
+		MaxBatchTx:     s.maxBatchTx.Load(),
+		OrderFallbacks: s.orderFallbacks.Load(),
+		NopsSeen:       s.nopsSeen.Load(),
+		ProgVisits:     s.progVisits.Load(),
+		ProgBatches:    s.progBatches.Load(),
+		OrderQueries:   s.orderQueries.Load(),
+		ReadRefines:    s.readRefines.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		GCCollected:    s.gcCollected.Load(),
+		VersionsLive:   uint64(s.g.NumVertices()),
+		PagedIn:        s.pagedIn.Load(),
+		PagedOut:       s.pagedOut.Load(),
 	}
 }
 
@@ -230,8 +259,12 @@ func (s *Shard) Recover(kv kvstore.Backing) int {
 	return n
 }
 
-// Start launches the event loop (and the heartbeat ticker, if configured).
+// Start launches the event loop, the apply worker pool (Config.Workers),
+// and the heartbeat ticker, if configured.
 func (s *Shard) Start() {
+	if s.cfg.Workers > 1 {
+		s.pool = newWorkerPool(s, s.cfg.Workers)
+	}
 	go s.run()
 	if s.cfg.HeartbeatPeriod > 0 {
 		go func() {
@@ -258,8 +291,9 @@ func (s *Shard) Resume() {}
 
 // EnterEpoch implements the §4.3 barrier on the event loop: drain all
 // in-flight traffic (gatekeepers are paused, so the mailbox is complete),
-// flush and reset the per-gatekeeper FIFO streams, and expect new-epoch
-// numbering from 1. Blocks until the loop has applied it.
+// execute everything still queued, flush and reset the per-gatekeeper
+// FIFO streams, and expect new-epoch numbering from 1. Blocks until the
+// loop has applied it.
 func (s *Shard) EnterEpoch(epoch uint64) {
 	done := make(chan struct{})
 	select {
@@ -276,6 +310,7 @@ func (s *Shard) EnterEpoch(epoch uint64) {
 			}
 			s.reseq[gk].Reset()
 		}
+		s.drainAllQueued()
 		s.pump()
 		close(done)
 	}:
@@ -284,10 +319,69 @@ func (s *Shard) EnterEpoch(epoch uint64) {
 	}
 }
 
-// Stop terminates the event loop.
+// drainAllQueued applies every queued transaction in refined timestamp
+// order. Only valid at an epoch barrier: the per-gatekeeper streams are
+// complete — no further old-epoch traffic can ever arrive — so the
+// frontier checks that normally guard against unseen earlier traffic no
+// longer constrain execution, and the queued set is totally ordered by
+// order(). Without this, a transaction concurrent with a stalled peer
+// frontier would survive the barrier unexecuted while the gatekeepers
+// reset their apply accounting for the new epoch (Quiesce would lie).
+func (s *Shard) drainAllQueued() {
+	var acks ackSet
+	warned := false
+	for {
+		best := -1
+		for gk := range s.queues {
+			if len(s.queues[gk]) == 0 {
+				continue
+			}
+			if best == -1 {
+				best = gk
+				continue
+			}
+			// Tournament minimum under the oracle-refined total order.
+			// order() answers Concurrent only when the oracle is
+			// unreachable; the barrier must still terminate (the whole
+			// cluster is blocked on it), so we fall back to keeping the
+			// current candidate — safe for disjoint footprints (the
+			// transactions commute) and surfaced loudly for conflicting
+			// ones, where arbitrary order could misorder versions.
+			switch s.order(s.queues[gk][0].ts, s.queues[best][0].ts) {
+			case core.Before:
+				best = gk
+			case core.Concurrent:
+				if graph.FootprintOf(s.queues[gk][0].ops).OverlapsOps(s.queues[best][0].ops) {
+					s.orderFallbacks.Add(1)
+					if !warned {
+						warned = true
+						fmt.Fprintf(os.Stderr,
+							"weaver shard %d: epoch barrier with oracle unreachable; draining concurrent conflicting transactions in arbitrary order\n",
+							s.cfg.ID)
+					}
+				}
+			}
+		}
+		if best == -1 {
+			acks.flush(s)
+			return
+		}
+		h := s.queues[best][0]
+		s.queues[best] = s.queues[best][1:]
+		s.apply(h)
+		acks.add([]queued{h})
+	}
+}
+
+// Stop terminates the event loop and the worker pool.
 func (s *Shard) Stop() {
 	s.stopOnce()
 	<-s.done
+	// The event loop has exited, so no batch is in flight and nothing can
+	// submit more work.
+	if s.pool != nil {
+		s.pool.stop()
+	}
 }
 
 func (s *Shard) run() {
@@ -371,33 +465,25 @@ func (s *Shard) ingest(ts core.Timestamp, seq uint64, ops []graph.Op) {
 	}
 }
 
-// pump drains all executable work: transactions in timestamp order, then
-// any node-program batches that have become ready.
+// pump drains all executable work: conflict-free batches of transactions
+// (timestamp order across conflicting pairs, parallel within a batch —
+// see batch.go), then any node-program batches that have become ready.
 func (s *Shard) pump() {
+	limit := 1
+	if s.pool != nil {
+		limit = s.cfg.MaxBatch
+	}
+	var acks ackSet
 	for {
-		if !s.executeOneTx() {
+		batch := s.selectBatch(limit)
+		if len(batch) == 0 {
 			break
 		}
+		s.applyBatch(batch)
+		acks.add(batch)
 	}
+	acks.flush(s)
 	s.runReadyProgs()
-}
-
-// executeOneTx finds and executes a queue head that orders before every
-// other gatekeeper's possible traffic. Returns false when no head is
-// currently executable.
-func (s *Shard) executeOneTx() bool {
-	for gk := range s.queues {
-		if len(s.queues[gk]) == 0 {
-			continue
-		}
-		h := s.queues[gk][0]
-		if s.executable(h.ts, gk) {
-			s.queues[gk] = s.queues[gk][1:]
-			s.apply(h)
-			return true
-		}
-	}
-	return false
 }
 
 // executable reports whether the transaction at ts (head of queue hgk) is
@@ -458,13 +544,23 @@ func (s *Shard) order(a, b core.Timestamp) core.Order {
 // paged back in, and the transaction's remaining operations on that vertex
 // are skipped to avoid double application.
 func (s *Shard) apply(q queued) {
+	if s.pager == nil {
+		// Hot path: the whole transaction under one store-lock
+		// acquisition, counters batched per transaction.
+		n := s.g.ApplyTx(q.ops, q.ts, func(op graph.Op, err error) {
+			s.reportApplyErr(op, q.ts, err)
+		})
+		s.opsApplied.Add(uint64(n))
+		s.txExecuted.Add(1)
+		return
+	}
 	var paged map[graph.VertexID]bool
 	for _, op := range q.ops {
 		if paged[op.Vertex] {
 			s.opsApplied.Add(1)
 			continue
 		}
-		if s.pager != nil && op.Kind != graph.OpCreateVertex && !s.g.Has(op.Vertex) {
+		if op.Kind != graph.OpCreateVertex && !s.g.Has(op.Vertex) {
 			if s.pageIn(op.Vertex) {
 				if paged == nil {
 					paged = make(map[graph.VertexID]bool)
@@ -475,13 +571,19 @@ func (s *Shard) apply(q queued) {
 			}
 		}
 		if err := s.g.Apply(op, q.ts); err != nil {
-			s.applyErrors.Add(1)
-			fmt.Fprintf(os.Stderr, "weaver shard %d: apply %v at %v: %v\n", s.cfg.ID, op.Kind, q.ts, err)
+			s.reportApplyErr(op, q.ts, err)
 		} else {
 			s.opsApplied.Add(1)
 		}
 	}
 	s.txExecuted.Add(1)
+}
+
+// reportApplyErr counts and surfaces an apply failure (an ordering bug —
+// operations were validated at the backing store).
+func (s *Shard) reportApplyErr(op graph.Op, ts core.Timestamp, err error) {
+	s.applyErrors.Add(1)
+	fmt.Fprintf(os.Stderr, "weaver shard %d: apply %v at %v: %v\n", s.cfg.ID, op.Kind, ts, err)
 }
 
 // pageIn faults one vertex record from the backing store into the

@@ -240,3 +240,35 @@ func TestShardEnterEpochResetsStreams(t *testing.T) {
 		t.Fatalf("epoch reset broke the stream: %+v", st)
 	}
 }
+
+// A transaction whose timestamp a peer gatekeeper's frontier never passed
+// (no announce/NOP exchanged) is queued-unexecutable; the §4.3 epoch
+// barrier must still execute it, because no more old-epoch traffic can
+// ever arrive and gatekeepers reset their apply accounting at the bump.
+func TestShardEnterEpochExecutesStalledQueue(t *testing.T) {
+	f := transport.NewFabric()
+	sh := New(Config{ID: 0, NumGatekeepers: 2},
+		f.Endpoint(transport.ShardAddr(0)), oracle.NewService(), nodeprog.NewRegistry(), partition.NewHash(1))
+	sh.Start()
+	t.Cleanup(sh.Stop)
+	gk0 := f.Endpoint(transport.GatekeeperAddr(0))
+	gk1 := f.Endpoint(transport.GatekeeperAddr(1))
+	c0 := core.NewVectorClock(0, 2, 0)
+	c1 := core.NewVectorClock(1, 2, 0)
+	// gk1's frontier is concurrent with gk0's transaction and never
+	// advances past it.
+	gk1.Send(transport.ShardAddr(0), wire.Nop{TS: c1.Tick(), Seq: 1})
+	gk0.Send(transport.ShardAddr(0), wire.TxForward{TS: c0.Tick(), Seq: 1,
+		Ops: []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "stalled"}}})
+	time.Sleep(3 * time.Millisecond)
+	if st := sh.Stats(); st.TxExecuted != 0 {
+		t.Fatalf("tx executed without ordering evidence: %+v", st)
+	}
+	sh.EnterEpoch(1)
+	if st := sh.Stats(); st.TxExecuted != 1 || st.ApplyErrors != 0 {
+		t.Fatalf("barrier left the queue stalled: %+v", st)
+	}
+	if !sh.Graph().Has("stalled") {
+		t.Fatal("queued transaction not applied at the barrier")
+	}
+}

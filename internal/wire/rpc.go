@@ -84,6 +84,7 @@ type OracleResp struct {
 // Call once per process before using transport.TCPNode.
 func RegisterGob() {
 	gob.Register(TxForward{})
+	gob.Register(TxApplied{})
 	gob.Register(Nop{})
 	gob.Register(Announce{})
 	gob.Register(ProgStart{})

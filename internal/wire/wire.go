@@ -26,6 +26,20 @@ type Nop struct {
 	Seq uint64
 }
 
+// TxApplied acknowledges that the shard finished applying forwarded
+// write-sets to its in-memory graph. With parallel conflict-aware apply,
+// transactions inside one shard batch complete in arbitrary order, so the
+// owning gatekeeper tracks outstanding applies as a count rather than a
+// frontier; acks need no sequence numbers, and a batch coalesces into one
+// counted ack per owning gatekeeper. Count <= 0 means 1 (an un-batched
+// ack). TS is any member transaction's timestamp — only its epoch is
+// meaningful (apply accounting is epoch-scoped).
+type TxApplied struct {
+	TS    core.Timestamp
+	Shard int
+	Count int
+}
+
 // Announce is the periodic gatekeeper→gatekeeper vector clock exchange
 // (§3.3), sent every τ.
 type Announce struct {

@@ -1,0 +1,304 @@
+// Strict-serializability stress suite: N concurrent clients run randomized
+// read-modify-write transactions against a multi-gatekeeper, multi-shard
+// cluster, and a checker validates the committed history against a
+// sequential model. It runs with the shard apply path both serial and
+// parallel (conflict-aware batches on a worker pool), since the parallel
+// path is exactly where an ordering bug would corrupt the multi-version
+// graph.
+//
+// Workload model: M register vertices each hold an integer property "n".
+// Every transaction reads one or two registers (recording the OCC read
+// version) and writes back value+1. For this workload strict
+// serializability is checkable:
+//
+//   - per register, the multiset of values read by committed increments
+//     must be exactly {0, 1, ..., c-1} — each increment observed a unique
+//     predecessor state, giving a total order per register;
+//   - the union of those per-register total orders must be acyclic
+//     (serializability: some single-threaded execution explains every
+//     read);
+//   - the data order must respect real time (strictness): a transaction
+//     serialized before another must not have begun only after the other
+//     completed;
+//   - after an apply fence (Cluster.Quiesce), the shard-side multi-version
+//     graph read through the full ordering machinery (node programs) must
+//     agree with the sequential model's final state, as must the backing
+//     store.
+package weaver_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"weaver"
+)
+
+type stressTx struct {
+	id    int
+	begin time.Time
+	end   time.Time
+	reads map[weaver.VertexID]int // value observed per incremented register
+}
+
+func runSerializabilityStress(t *testing.T, shardWorkers int) {
+	t.Helper()
+	const (
+		gatekeepers = 3
+		shards      = 3
+		registers   = 24
+		clients     = 6
+	)
+	txPerClient := 100
+	if testing.Short() {
+		txPerClient = 30
+	}
+
+	c, err := weaver.Open(weaver.Config{
+		Gatekeepers:    gatekeepers,
+		Shards:         shards,
+		AnnouncePeriod: 200 * time.Microsecond,
+		NopPeriod:      100 * time.Microsecond,
+		ShardWorkers:   shardWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reg := func(i int) weaver.VertexID { return weaver.VertexID(fmt.Sprintf("r%d", i)) }
+
+	setup := c.Client()
+	if _, err := setup.RunTx(func(tx *weaver.Tx) error {
+		for i := 0; i < registers; i++ {
+			tx.CreateVertex(reg(i))
+			tx.SetProperty(reg(i), "n", "0")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu      sync.Mutex
+		history []stressTx
+		nextID  int
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client := c.Client()
+			r := rand.New(rand.NewSource(seed))
+			for op := 0; op < txPerClient; op++ {
+				vs := []weaver.VertexID{reg(r.Intn(registers))}
+				if r.Intn(2) == 0 {
+					for {
+						v := reg(r.Intn(registers))
+						if v != vs[0] {
+							vs = append(vs, v)
+							break
+						}
+					}
+				}
+				begin := time.Now()
+				var reads map[weaver.VertexID]int
+				for attempt := 0; ; attempt++ {
+					if attempt > 400 {
+						errCh <- fmt.Errorf("client %d: tx starved after %d attempts", seed, attempt)
+						return
+					}
+					tx := client.Begin()
+					reads = make(map[weaver.VertexID]int, len(vs))
+					for _, v := range vs {
+						d, found, err := tx.GetVertex(v)
+						if err != nil || !found {
+							errCh <- fmt.Errorf("read %q: found=%v err=%v", v, found, err)
+							return
+						}
+						n, err := strconv.Atoi(d.Props["n"])
+						if err != nil {
+							errCh <- fmt.Errorf("register %q holds %q: %v", v, d.Props["n"], err)
+							return
+						}
+						reads[v] = n
+					}
+					for _, v := range vs {
+						tx.SetProperty(v, "n", strconv.Itoa(reads[v]+1))
+					}
+					if _, err := tx.Commit(); err == nil {
+						break
+					} else if !errors.Is(err, weaver.ErrConflict) {
+						errCh <- fmt.Errorf("commit: %v", err)
+						return
+					}
+					time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond)
+				}
+				end := time.Now()
+				mu.Lock()
+				history = append(history, stressTx{id: nextID, begin: begin, end: end, reads: reads})
+				nextID++
+				mu.Unlock()
+			}
+		}(int64(cl + 1))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// ---- Checker ----
+
+	// Per-register total orders from the values each increment observed.
+	type slot struct {
+		tx   int
+		read int
+	}
+	perReg := make(map[weaver.VertexID][]slot)
+	for _, h := range history {
+		for v, n := range h.reads {
+			perReg[v] = append(perReg[v], slot{tx: h.id, read: n})
+		}
+	}
+	increments := make(map[weaver.VertexID]int)
+	succ := make(map[int][]int) // serialization edges tx -> tx
+	for v, slots := range perReg {
+		increments[v] = len(slots)
+		seen := make(map[int]int, len(slots))
+		for _, s := range slots {
+			if prev, dup := seen[s.read]; dup {
+				t.Fatalf("register %q: txs %d and %d both read value %d (lost update)", v, prev, s.tx, s.read)
+			}
+			seen[s.read] = s.tx
+		}
+		for n := 0; n < len(slots); n++ {
+			if _, ok := seen[n]; !ok {
+				t.Fatalf("register %q: no committed tx read value %d of %d (gap in increment chain)", v, n, len(slots))
+			}
+		}
+		// Real-time check on every ordered pair of this register's chain:
+		// if Ti is serialized before Tj, Tj must not have fully completed
+		// before Ti began.
+		for i := 0; i < len(slots); i++ {
+			for j := 0; j < len(slots); j++ {
+				if slots[i].read < slots[j].read {
+					ti, tj := history[slots[i].tx], history[slots[j].tx]
+					if tj.end.Before(ti.begin) {
+						t.Fatalf("register %q: tx %d serialized before tx %d but began after it completed (real-time violation)",
+							v, ti.id, tj.id)
+					}
+				}
+			}
+		}
+		for n := 1; n < len(slots); n++ {
+			succ[seen[n-1]] = append(succ[seen[n-1]], seen[n])
+		}
+	}
+
+	// Serializability: the union of per-register orders must be acyclic.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(history))
+	var dfs func(int) bool
+	dfs = func(tx int) bool {
+		color[tx] = grey
+		for _, nxt := range succ[tx] {
+			switch color[nxt] {
+			case grey:
+				return false
+			case white:
+				if !dfs(nxt) {
+					return false
+				}
+			}
+		}
+		color[tx] = black
+		return true
+	}
+	for _, h := range history {
+		if color[h.id] == white && !dfs(h.id) {
+			t.Fatalf("serialization graph has a cycle: committed history is not serializable")
+		}
+	}
+
+	// Apply fence, then compare shard state (through the full node-program
+	// ordering machinery) and the backing store against the model.
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	for _, st := range c.Stats().Gatekeepers {
+		if st.ApplyPending != 0 {
+			t.Fatalf("apply fence passed with pending applies: %+v", st)
+		}
+	}
+	reader := c.Client()
+	for i := 0; i < registers; i++ {
+		want := strconv.Itoa(increments[reg(i)])
+		node, ok, err := reader.GetNode(reg(i))
+		if err != nil || !ok {
+			t.Fatalf("get_node %q: ok=%v err=%v", reg(i), ok, err)
+		}
+		if node.Props["n"] != want {
+			t.Fatalf("register %q: shard graph holds n=%q, sequential model says %q", reg(i), node.Props["n"], want)
+		}
+		rec, ok, err := reader.GetVertex(reg(i))
+		if err != nil || !ok {
+			t.Fatalf("backing read %q: ok=%v err=%v", reg(i), ok, err)
+		}
+		if rec.Props["n"] != want {
+			t.Fatalf("register %q: backing store holds n=%q, want %q", reg(i), rec.Props["n"], want)
+		}
+	}
+
+	// The parallel path must actually have batched something when enabled.
+	if shardWorkers > 1 {
+		var maxBatch uint64
+		for _, st := range c.Stats().Shards {
+			if st.MaxBatchTx > maxBatch {
+				maxBatch = st.MaxBatchTx
+			}
+		}
+		if maxBatch < 2 {
+			t.Logf("note: no multi-transaction batch formed (max=%d); workload may be too conflict-heavy", maxBatch)
+		}
+	}
+}
+
+func TestStrictSerializabilitySerialApply(t *testing.T) {
+	runSerializabilityStress(t, 0)
+}
+
+func TestStrictSerializabilityParallelApply(t *testing.T) {
+	runSerializabilityStress(t, 8)
+}
+
+// TestParallelShardStopIdempotent guards the worker-pool lifecycle:
+// CrashShard (failure injection) followed by Close stops the same shard
+// twice, which must not double-close the pool's job channel.
+func TestParallelShardStopIdempotent(t *testing.T) {
+	c, err := weaver.Open(weaver.Config{Gatekeepers: 1, Shards: 2, ShardWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		tx.CreateVertex("v")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashShard(0)
+	if err := c.Close(); err != nil {
+		t.Fatalf("close after crash: %v", err)
+	}
+}

@@ -11,6 +11,36 @@
 // run node programs — traversal-style read-only queries that see a
 // consistent snapshot of the graph at their timestamp.
 //
+// # Execution pipeline
+//
+// A committed transaction flows through three stages:
+//
+//  1. Commit (gatekeeper): a refinable timestamp is stamped, the write-set
+//     is validated and applied to the transactional backing store (OCC),
+//     and timestamp order is reconciled with commit order on conflicting
+//     vertices — via the timeline oracle when vector clocks are
+//     inconclusive (§4.2). When Tx.Commit returns, the transaction is
+//     durable and totally ordered.
+//  2. Forward: the write-set is split by home shard and streamed to the
+//     involved shards over per-shard FIFO channels; uninvolved shards
+//     receive a NOP advancing their frontier.
+//  3. Apply (shard): each shard's event loop executes forwarded
+//     transactions against its in-memory multi-version graph. Ordering is
+//     enforced only between conflicting transactions: the loop selects the
+//     earliest executable queue head, then keeps draining further
+//     executable transactions with disjoint vertex footprints into one
+//     batch, applied concurrently on a per-shard worker pool
+//     (Config.ShardWorkers). Conflicting transactions always land in
+//     separate batches and therefore apply in timestamp order. Shards
+//     acknowledge each applied transaction to its gatekeeper; Quiesce
+//     blocks until every forwarded write-set has been acknowledged — an
+//     apply fence for benchmarks and tests that read shard state.
+//
+// Node programs wait until the shard has executed everything at or before
+// their timestamp, then read the multi-version graph at that timestamp;
+// parallel apply preserves this because programs only run at batch
+// boundaries.
+//
 // Quick start:
 //
 //	c, _ := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 2})
@@ -110,6 +140,15 @@ type Config struct {
 	// once the GC watermark passes them and faulting them back in from
 	// the backing store on access. Requires GCPeriod. 0 = unlimited.
 	MaxShardVertices int
+	// ShardWorkers is each shard's apply worker-pool size for
+	// conflict-aware parallel transaction execution: mutually
+	// non-conflicting transactions (disjoint vertex footprints) apply
+	// concurrently, conflicting ones keep their timestamp order. 0 or 1
+	// applies serially on the shard event loop (the paper's design).
+	ShardWorkers int
+	// ShardMaxBatch caps one parallel apply batch (0 = 256), bounding
+	// batch-barrier latency. Ignored unless ShardWorkers > 1.
+	ShardMaxBatch int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -249,6 +288,8 @@ func (c *Cluster) newShard(i int, epoch uint64) *shard.Shard {
 		Retain:          c.cfg.Retain,
 		HeartbeatPeriod: heartbeat,
 		MaxVertices:     c.cfg.MaxShardVertices,
+		Workers:         c.cfg.ShardWorkers,
+		MaxBatch:        c.cfg.ShardMaxBatch,
 	}, ep, c.orc, c.reg, c.dir)
 	if c.cfg.MaxShardVertices > 0 {
 		sh.SetPager(c.kv)
@@ -326,6 +367,28 @@ var (
 	ShardAddr      = transport.ShardAddr
 	GatekeeperAddr = transport.GatekeeperAddr
 )
+
+// Quiesce blocks until every transaction committed so far has been applied
+// by every involved shard's in-memory graph, or the timeout expires. Commit
+// alone already guarantees durability and strict serializability; Quiesce
+// is the apply fence for code that inspects shard state directly (tests,
+// benchmarks, Graph()-level checks) or wants to measure apply throughput.
+func (c *Cluster) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	c.serversMu.RLock()
+	gks := append([]*gatekeeper.Gatekeeper(nil), c.gks...)
+	c.serversMu.RUnlock()
+	for _, gk := range gks {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			remain = time.Nanosecond
+		}
+		if err := gk.Quiesce(remain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Epoch returns the cluster's current epoch.
 func (c *Cluster) Epoch() uint64 {
