@@ -102,7 +102,9 @@ func Default() Options {
 	}
 }
 
-// weaverConfig builds the cluster config for the options.
+// weaverConfig builds the cluster config for the options. The directory is
+// assignable (partition.Mapped over hash) so bulk loads place vertices with
+// the LDG streaming partitioner; vertices loaded transactionally still hash.
 func (o Options) weaverConfig(gks, shards int) weaver.Config {
 	return weaver.Config{
 		Gatekeepers:    gks,
@@ -110,6 +112,7 @@ func (o Options) weaverConfig(gks, shards int) weaver.Config {
 		AnnouncePeriod: o.Tau,
 		NopPeriod:      o.Nop,
 		ProgTimeout:    60 * time.Second,
+		Directory:      weaver.NewMappedDirectory(shards),
 	}
 }
 
@@ -118,11 +121,50 @@ func (o Options) OpenWeaver(gks, shards int) (*weaver.Cluster, error) {
 	return weaver.Open(o.weaverConfig(gks, shards))
 }
 
-// LoadSocialWeaver loads a generated graph into Weaver, batching operations
-// into chunky transactions (one chunk of vertices, then all out-edges of a
-// group of vertices per transaction, so each touched vertex record is
-// encoded once per transaction).
+// LoadSocialWeaver loads a generated graph into Weaver through the bulk
+// ingest path (Cluster.BulkLoad): LDG streaming placement, parallel
+// per-shard segment builders, direct install — how the paper's evaluation
+// graphs (up to 1.47B edges, §6) would realistically be loaded.
 func LoadSocialWeaver(c *weaver.Cluster, g *workload.Graph) error {
+	edges := make([]weaver.BulkEdge, len(g.Edges))
+	for i, e := range g.Edges {
+		edges[i] = weaver.BulkEdge{From: e.From, To: e.To}
+	}
+	if _, err := c.BulkLoad(g.Vertices, edges); err != nil {
+		return fmt.Errorf("bulk load: %w", err)
+	}
+	return nil
+}
+
+// LoadSocialWeaverEntity loads the graph through the transactional commit
+// path at natural application granularity: one transaction per vertex,
+// creating it and all its out-edges (targets precede sources in the
+// generator's stream order, exactly like one-transaction-per-block in
+// LoadBlockchainWeaver). This is "the transactional load path" baseline of
+// BenchmarkBulkLoad — what loading actually costs an application that has
+// no bulk path.
+func LoadSocialWeaverEntity(c *weaver.Cluster, g *workload.Graph) error {
+	cl := c.Client()
+	for _, v := range g.Vertices {
+		if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+			tx.CreateVertex(v)
+			for _, to := range g.Out[v] {
+				tx.CreateEdge(v, to)
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("load entity %s: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// LoadSocialWeaverTx loads the same graph through the transactional commit
+// path, batching operations into chunky transactions (one chunk of
+// vertices, then all out-edges of a group of vertices per transaction, so
+// each touched vertex record is encoded once per transaction) — the
+// hand-tuned batch loader this repo used before bulk ingest existed.
+func LoadSocialWeaverTx(c *weaver.Cluster, g *workload.Graph) error {
 	cl := c.Client()
 	const vchunk = 400
 	for lo := 0; lo < len(g.Vertices); lo += vchunk {

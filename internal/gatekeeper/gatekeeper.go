@@ -295,6 +295,26 @@ func (g *Gatekeeper) Quiesce(timeout time.Duration) error {
 	}
 }
 
+// OutstandingPrograms returns the number of node programs issued through
+// this gatekeeper that have not yet completed. Bulk ingest drains them
+// before installing segments.
+func (g *Gatekeeper) OutstandingPrograms() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.progs)
+}
+
+// ObserveTimestamp merges ts into this gatekeeper's vector clock, exactly
+// as receiving it in an Announce would (§3.3). Bulk ingest uses it to
+// install the load frontier: once every gatekeeper has observed the bulk
+// timestamp, every future transaction in the cluster is vector-clock-after
+// it, so loaded state needs no oracle refinement against new writes.
+func (g *Gatekeeper) ObserveTimestamp(ts core.Timestamp) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.clock.Observe(ts)
+}
+
 // Now returns the clock's current value without advancing it.
 func (g *Gatekeeper) Now() core.Timestamp {
 	g.mu.Lock()

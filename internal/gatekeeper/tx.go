@@ -248,6 +248,11 @@ func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph
 			if _, dup := t.rec.Edges[op.Edge]; dup {
 				return CommitResult{}, nil, false, fmt.Errorf("%w: create_edge %q: duplicate", ErrInvalid, op.Edge)
 			}
+			if t.rec.Edges == nil {
+				// Bulk-loaded records carry nil maps when empty (gob
+				// omits zero values on decode).
+				t.rec.Edges = make(map[graph.EdgeID]graph.EdgeRecord, 1)
+			}
 			t.rec.Edges[op.Edge] = graph.EdgeRecord{To: op.To, Props: map[string]string{}}
 		case graph.OpDeleteEdge:
 			if !live {
@@ -260,6 +265,11 @@ func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph
 		case graph.OpSetVertexProp:
 			if !live {
 				return CommitResult{}, nil, false, fmt.Errorf("%w: set_prop on %q: vertex not live", ErrInvalid, op.Vertex)
+			}
+			// Prop maps decode as nil when they were empty on disk (gob
+			// omits zero values), so materialize before writing.
+			if t.rec.Props == nil {
+				t.rec.Props = make(map[string]string, 1)
 			}
 			t.rec.Props[op.Key] = op.Value
 		case graph.OpDelVertexProp:
@@ -274,6 +284,9 @@ func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph
 			er, ok := t.rec.Edges[op.Edge]
 			if !ok {
 				return CommitResult{}, nil, false, fmt.Errorf("%w: set_edge_prop %q: no such edge", ErrInvalid, op.Edge)
+			}
+			if er.Props == nil {
+				er.Props = make(map[string]string, 1)
 			}
 			er.Props[op.Key] = op.Value
 			t.rec.Edges[op.Edge] = er

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"weaver/internal/core"
+)
+
+func testRecord() *VertexRecord {
+	return &VertexRecord{
+		ID:    "user/42",
+		Shard: 3,
+		Props: map[string]string{"name": "Ada", "role": "admin"},
+		Edges: map[EdgeID]EdgeRecord{
+			"e0.gk1.7#0": {To: "user/43", Props: map[string]string{"kind": "follows"}},
+			"e0.gk1.7#1": {To: "user/44"},
+		},
+		LastTS: core.Timestamp{Epoch: 2, Owner: 1, Clock: []uint64{5, 9, 0}},
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for _, rec := range []*VertexRecord{
+		testRecord(),
+		{ID: "bare"},
+		{ID: "dead", Deleted: true, LastTS: core.Timestamp{Epoch: 1, Owner: 0, Clock: []uint64{3}}},
+		NewVertexRecord("empty-maps", 1),
+	} {
+		got, err := DecodeRecord(EncodeRecord(rec))
+		if err != nil {
+			t.Fatalf("%s: %v", rec.ID, err)
+		}
+		normalize := func(r *VertexRecord) {
+			if len(r.Props) == 0 {
+				r.Props = nil
+			}
+			if len(r.Edges) == 0 {
+				r.Edges = nil
+			}
+		}
+		want := *rec
+		normalize(&want)
+		normalize(got)
+		if !reflect.DeepEqual(got, &want) {
+			t.Fatalf("%s round trip:\n got %+v\nwant %+v", rec.ID, got, &want)
+		}
+	}
+}
+
+// TestRecordCodecGobFallback: blobs written by the pre-binary codec (bare
+// gob) must still decode — WAL migration replays them as opaque values.
+func TestRecordCodecGobFallback(t *testing.T) {
+	rec := testRecord()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rec.ID || got.Shard != rec.Shard || len(got.Edges) != len(rec.Edges) {
+		t.Fatalf("gob fallback decoded %+v", got)
+	}
+}
+
+// TestRecordCodecTruncation: every truncation of a valid encoding must
+// error, never panic or silently succeed.
+func TestRecordCodecTruncation(t *testing.T) {
+	data := EncodeRecord(testRecord())
+	for cut := 2; cut < len(data); cut++ {
+		if _, err := DecodeRecord(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(data))
+		}
+	}
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	rec := testRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeRecord(rec)
+	}
+}
+
+func BenchmarkDecodeRecord(b *testing.B) {
+	data := EncodeRecord(testRecord())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRecord(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

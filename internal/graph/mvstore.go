@@ -278,12 +278,32 @@ func delProp(props []Property, key string, ts core.Timestamp) []Property {
 func (s *Store) Load(rec *VertexRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.loadLocked(rec)
+}
+
+// LoadAll installs a batch of records under one lock acquisition — the
+// shard-side half of bulk ingest (snapshot segments) and recovery.
+func (s *Store) LoadAll(recs []*VertexRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		s.loadLocked(rec)
+	}
+}
+
+func (s *Store) loadLocked(rec *VertexRecord) {
 	v := &Vertex{ID: rec.ID, Created: rec.LastTS, Out: make(map[EdgeID]*Edge, len(rec.Edges))}
 	for k, val := range rec.Props {
 		v.Props = append(v.Props, Property{Key: k, Value: val, Created: rec.LastTS})
 	}
+	// One slab for the record's edges: bulk ingest and recovery install
+	// millions of edges, and per-edge allocations are the hot spot.
+	slab := make([]Edge, len(rec.Edges))
+	i := 0
 	for eid, er := range rec.Edges {
-		e := &Edge{ID: eid, From: rec.ID, To: er.To, Created: rec.LastTS}
+		e := &slab[i]
+		i++
+		e.ID, e.From, e.To, e.Created = eid, rec.ID, er.To, rec.LastTS
 		for k, val := range er.Props {
 			e.Props = append(e.Props, Property{Key: k, Value: val, Created: rec.LastTS})
 		}

@@ -13,6 +13,7 @@ package graph
 
 import (
 	"fmt"
+	"strconv"
 
 	"weaver/internal/core"
 )
@@ -28,8 +29,13 @@ type EdgeID string
 // MakeEdgeID builds the canonical edge ID for the i-th edge created by the
 // transaction with timestamp identity tid.
 func MakeEdgeID(tid core.ID, i int) EdgeID {
-	return EdgeID(fmt.Sprintf("%s#%d", tid, i))
+	return EdgeID(EdgeIDPrefix(tid) + strconv.Itoa(i))
 }
+
+// EdgeIDPrefix returns the prefix shared by every edge ID minted from tid:
+// MakeEdgeID(tid, i) == EdgeIDPrefix(tid) + strconv.Itoa(i). Bulk ingest
+// mints millions of IDs from one timestamp and amortizes the prefix.
+func EdgeIDPrefix(tid core.ID) string { return tid.String() + "#" }
 
 // OpKind enumerates graph write operations (§2.2).
 type OpKind uint8

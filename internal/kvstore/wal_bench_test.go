@@ -1,0 +1,79 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// benchRecord is a representative single-transaction write-set.
+func benchRecord(i int) Record {
+	return Record{Writes: map[string][]byte{
+		fmt.Sprintf("v/user/%d", i): make([]byte, 256),
+	}}
+}
+
+// BenchmarkWALAppend shows the group-commit throughput delta: "serial" is
+// the lower bound every pre-group-commit design paid (one fsync per
+// record, issued back to back), while "group-N" runs N concurrent
+// committers whose appends coalesce into shared fsyncs. The syncs/op
+// metric makes the coalescing visible: serial pins it at 1, group drops
+// it toward 1/N.
+func BenchmarkWALAppend(b *testing.B) {
+	open := func(b *testing.B) *WAL {
+		b.Helper()
+		w, err := OpenWAL(filepath.Join(b.TempDir(), "bench.wal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		return w
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		w := open(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Append(benchRecord(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		report(b, w)
+	})
+
+	for _, writers := range []int{8, 64} {
+		b.Run(fmt.Sprintf("group-%d", writers), func(b *testing.B) {
+			w := open(b)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			work := make(chan int)
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range work {
+						if err := w.Append(benchRecord(i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			for i := 0; i < b.N; i++ {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			report(b, w)
+		})
+	}
+}
+
+func report(b *testing.B, w *WAL) {
+	if b.N > 0 {
+		b.ReportMetric(float64(w.Syncs())/float64(b.N), "syncs/op")
+	}
+}

@@ -66,6 +66,15 @@ type node struct {
 // chainrep replicates it for fault tolerance. All methods are deterministic.
 type DAG struct {
 	nodes map[core.ID]*node
+	// edged indexes the nodes with at least one explicit out-edge. The
+	// reachability search only ever needs implicit (vector-clock) hops
+	// INTO these nodes — an implicit hop to an edge-less node either
+	// terminates the search (covered by the vclock terminal check) or
+	// dead-ends — so the search scans this index instead of every
+	// registered event. Most events never establish an explicit order
+	// (they resolve by vector clock), which makes this index orders of
+	// magnitude smaller than the node table under heavy traffic.
+	edged map[core.ID]*node
 	// cache memoizes settled Before/After answers. Decisions are
 	// monotonic and irreversible (§4.2), so entries never invalidate;
 	// GC drops entries for collected events.
@@ -77,6 +86,7 @@ type DAG struct {
 func NewDAG() *DAG {
 	return &DAG{
 		nodes: make(map[core.ID]*node),
+		edged: make(map[core.ID]*node),
 		cache: make(map[[2]core.ID]core.Order),
 	}
 }
@@ -144,11 +154,11 @@ func (d *DAG) reachable(src core.ID, dstID core.ID, dstTS core.Timestamp) bool {
 			}
 		}
 		// Implicit hops: x ≺_vc y for any registered y with explicit
-		// out-edges. (Implicit hops to edge-less nodes are redundant:
-		// either such a y is terminal, which the vclock terminal check
-		// above already covers through transitivity, or the path dead
-		// ends there.)
-		for yid, yn := range d.nodes {
+		// out-edges (the edged index; implicit hops to edge-less nodes
+		// are redundant: either such a y is terminal, which the vclock
+		// terminal check above already covers through transitivity, or
+		// the path dead ends there).
+		for yid, yn := range d.edged {
 			if yid == xid || len(yn.out) == 0 {
 				continue
 			}
@@ -208,6 +218,7 @@ func (d *DAG) addEdge(first, second Event) {
 	fn, sn := d.ensure(first), d.ensure(second)
 	fn.out[second.ID] = struct{}{}
 	sn.in[first.ID] = struct{}{}
+	d.edged[first.ID] = fn
 	d.remember(first.ID, second.ID, core.Before)
 	d.stats.Established++
 }
@@ -281,6 +292,13 @@ func (d *DAG) GC(watermark core.Timestamp) int {
 					}
 				}
 			}
+			// Splicing may have grown or emptied pn's out-set; keep the
+			// edged index exact.
+			if len(pn.out) == 0 {
+				delete(d.edged, pid)
+			} else {
+				d.edged[pid] = pn
+			}
 		}
 		for sid := range n.out {
 			if sn := d.nodes[sid]; sn != nil {
@@ -288,6 +306,7 @@ func (d *DAG) GC(watermark core.Timestamp) int {
 			}
 		}
 		delete(d.nodes, id)
+		delete(d.edged, id)
 	}
 	if len(victims) > 0 {
 		gone := make(map[core.ID]struct{}, len(victims))

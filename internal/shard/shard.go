@@ -247,16 +247,33 @@ func (s *Shard) SetPager(p Pager) { s.pager = p }
 // timestamp. Must be called before Start, behind the cluster manager's
 // epoch barrier.
 func (s *Shard) Recover(kv kvstore.Backing) int {
-	n := 0
+	var recs []*graph.VertexRecord
 	kv.ScanPrefix("v/", func(_ string, data []byte) {
 		rec, err := graph.DecodeRecord(data)
 		if err != nil || rec.Deleted || rec.Shard != s.cfg.ID {
 			return
 		}
-		s.g.Load(rec)
-		n++
+		recs = append(recs, rec)
 	})
-	return n
+	s.g.LoadAll(recs)
+	return len(recs)
+}
+
+// Install loads bulk-ingested vertex records into the in-memory graph,
+// skipping records homed on other shards, and returns the count installed.
+// It is the shard-side consumer of snapshot segments (Cluster.BulkLoad):
+// the caller must guarantee no conflicting transaction is applying —
+// gatekeepers paused and applies quiesced — because records land exactly
+// as in recovery, visible wholesale at their stamped timestamp.
+func (s *Shard) Install(recs []*graph.VertexRecord) int {
+	mine := recs[:0:0]
+	for _, rec := range recs {
+		if rec.Shard == s.cfg.ID && !rec.Deleted {
+			mine = append(mine, rec)
+		}
+	}
+	s.g.LoadAll(mine)
+	return len(mine)
 }
 
 // Start launches the event loop, the apply worker pool (Config.Workers),

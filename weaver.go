@@ -41,6 +41,29 @@
 // parallel apply preserves this because programs only run at batch
 // boundaries.
 //
+// # Durability, checkpoints, and bulk ingest
+//
+// Config.WALPath makes the backing store durable: commits are written to a
+// group-committed write-ahead log (concurrent commits share fsyncs) before
+// they are acknowledged. Cluster.Checkpoint snapshots the store into
+// segmented, checksummed files (internal/snapshot) and truncates the log,
+// so reopening replays only the tail written since — Cluster.RecoveryStats
+// reports the bounded replay. A crash mid-checkpoint is safe: a torn
+// snapshot fails validation and recovery falls back to the previous
+// snapshot plus its complete log.
+//
+// Cluster.BulkLoad populates a cluster wholesale, bypassing the
+// per-transaction commit path: the edge list streams through the LDG
+// partitioner for locality-aware placement (when Config.Directory is a
+// *partition.Mapped), per-shard segment builders encode vertex records on
+// a worker pool (Config.BulkLoadWorkers, Config.SnapshotSegmentEntries),
+// and the segments install directly into the backing store and the shard
+// graphs, exactly as recovery would. One fresh timestamp stamps the whole
+// load and every gatekeeper clock observes it, so all later transactions
+// order after the load. On a durable cluster BulkLoad ends with an
+// automatic Checkpoint — crash-safe ingest without a WAL record per
+// commit.
+//
 // Quick start:
 //
 //	c, _ := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 2})
@@ -120,8 +143,17 @@ type Config struct {
 	// ProgTimeout bounds node program execution. Default 30s.
 	ProgTimeout time.Duration
 	// WALPath, when set, makes the backing store durable: committed
-	// transactions are logged and replayed on reopen.
+	// transactions are logged (group-committed: concurrent commits share
+	// fsyncs) and the store recovers on reopen from the newest checkpoint
+	// snapshot plus the WAL tail — see Cluster.Checkpoint. Snapshot and
+	// WAL-era files are created next to this path.
 	WALPath string
+	// SnapshotSegmentEntries caps entries per on-disk snapshot segment
+	// (checkpoints and bulk-load segment builders). 0 = 4096.
+	SnapshotSegmentEntries int
+	// BulkLoadWorkers sizes Cluster.BulkLoad's segment-builder pool.
+	// 0 = GOMAXPROCS.
+	BulkLoadWorkers int
 	// Directory overrides vertex placement (default: hash partitioning;
 	// see internal/partition for the LDG streaming partitioner, §4.6).
 	Directory partition.Directory
@@ -180,7 +212,9 @@ type Cluster struct {
 	shards    []*shard.Shard
 
 	nextClient atomic.Uint64
-	closed     bool
+	closeOnce  sync.Once
+	closeErr   error
+	closed     atomic.Bool
 }
 
 // Open builds and starts a cluster.
@@ -195,7 +229,9 @@ func Open(cfg Config) (*Cluster, error) {
 		c.fabric.WithDelay(cfg.NetDelayMin, cfg.NetDelayMax)
 	}
 	if cfg.WALPath != "" {
-		durable, err := kvstore.NewDurable(cfg.WALPath)
+		durable, err := kvstore.NewDurableOptions(cfg.WALPath, kvstore.DurableOptions{
+			SegmentEntries: cfg.SnapshotSegmentEntries,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("weaver: open backing store: %w", err)
 		}
@@ -238,10 +274,34 @@ func Open(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("weaver: persist epoch: %w", err)
 		}
 	}
+	// Durable reopen: one scan over the vertex keyspace decodes every
+	// record once, rebuilds locality-aware placements (BulkLoad's LDG
+	// assignments, RebalanceLDG moves — the backing store doubles as the
+	// authoritative vertex→shard directory, §3.2, and hop routing must
+	// agree with where each vertex recovers), and buckets records per
+	// shard for batched install — instead of every shard re-scanning and
+	// re-decoding the full keyspace for its own partition.
+	var perShard [][]*graph.VertexRecord
+	if cfg.WALPath != "" {
+		perShard = make([][]*graph.VertexRecord, cfg.Shards)
+		md, _ := c.dir.(*partition.Mapped)
+		c.kv.ScanPrefix(vertexKeyPrefix, func(_ string, data []byte) {
+			rec, err := graph.DecodeRecord(data)
+			if err != nil || rec.Deleted {
+				return
+			}
+			if md != nil {
+				md.Assign(rec.ID, rec.Shard)
+			}
+			if rec.Shard >= 0 && rec.Shard < cfg.Shards {
+				perShard[rec.Shard] = append(perShard[rec.Shard], rec)
+			}
+		})
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := c.newShard(i, c.baseEpoch)
-		if cfg.WALPath != "" {
-			sh.Recover(c.kv)
+		if perShard != nil {
+			sh.Install(perShard[i])
 		}
 		c.shards = append(c.shards, sh)
 	}
@@ -401,26 +461,28 @@ func (c *Cluster) Epoch() uint64 {
 // epochKey persists the cluster epoch in the backing store.
 const epochKey = "meta/epoch"
 
-// Close stops every server and releases the backing store.
+// Close stops every server and releases the backing store. It is
+// idempotent and safe for concurrent use: the shutdown runs exactly once
+// and every caller observes its result.
 func (c *Cluster) Close() error {
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	if c.mgr != nil {
-		c.mgr.Stop()
-	}
-	c.serversMu.RLock()
-	gks := append([]*gatekeeper.Gatekeeper(nil), c.gks...)
-	shards := append([]*shard.Shard(nil), c.shards...)
-	c.serversMu.RUnlock()
-	for _, gk := range gks {
-		gk.Stop()
-	}
-	for _, sh := range shards {
-		sh.Stop()
-	}
-	return c.kv.Close()
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		if c.mgr != nil {
+			c.mgr.Stop()
+		}
+		c.serversMu.RLock()
+		gks := append([]*gatekeeper.Gatekeeper(nil), c.gks...)
+		shards := append([]*shard.Shard(nil), c.shards...)
+		c.serversMu.RUnlock()
+		for _, gk := range gks {
+			gk.Stop()
+		}
+		for _, sh := range shards {
+			sh.Stop()
+		}
+		c.closeErr = c.kv.Close()
+	})
+	return c.closeErr
 }
 
 // Registry exposes the node-program registry so applications can register
