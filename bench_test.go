@@ -618,3 +618,28 @@ func BenchmarkAblationOracleReplication(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRebalance measures §4.6 online heat-driven repartitioning end to
+// end (experiments.Rebalance): dense communities start deliberately
+// scattered across all shards, traversal traffic generates heat, and
+// RebalanceOnce cycles batch-migrate the hot vertices toward their
+// neighbors. Reported: cross-shard edge fraction and traversal latency
+// before vs after convergence, and the largest stop-the-world pause paid.
+func BenchmarkRebalance(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Rebalance(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CutBeforePct, "cut_before_%")
+		b.ReportMetric(res.CutAfterPct, "cut_after_%")
+		b.ReportMetric(float64(res.Moved), "moved")
+		b.ReportMetric(float64(res.TravBefore.Microseconds()), "trav_before_us")
+		b.ReportMetric(float64(res.TravAfter.Microseconds()), "trav_after_us")
+		if res.TravAfter > 0 {
+			b.ReportMetric(float64(res.TravBefore)/float64(res.TravAfter), "trav_speedup_x")
+		}
+		b.ReportMetric(float64(res.PauseMax.Microseconds()), "pause_max_us")
+	}
+}

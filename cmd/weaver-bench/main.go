@@ -7,7 +7,7 @@
 //	weaver-bench -scale 4 -duration 2s    # larger workloads, longer runs
 //
 // Experiments: fig7 fig8 fig9a fig9b fig10 fig11 fig12 fig13 fig14
-// ablation-partition ablation-tau
+// ablation-partition ablation-tau rebalance
 package main
 
 import (
@@ -83,6 +83,13 @@ func main() {
 		return experiments.Fig14(o, taus)
 	})
 	run("ablation-partition", func() (fmt.Stringer, error) { return ablationPartition(o) })
+	run("rebalance", func() (fmt.Stringer, error) { return rebalanceScenario(o) })
+}
+
+// rebalanceScenario runs the §4.6 online repartitioning experiment
+// (experiments.Rebalance) at the harness scale.
+func rebalanceScenario(o experiments.Options) (fmt.Stringer, error) {
+	return experiments.Rebalance(o)
 }
 
 // table1 prints the TAO workload definition (Table 1) as measured from the

@@ -1,0 +1,143 @@
+package experiments
+
+// Online heat-driven repartitioning (§4.6): the locality experiment this
+// repo adds beyond the paper's figures. A community-structured graph starts
+// with its members deliberately scattered across all shards — the placement
+// a hash directory gives any clustered graph — traversal traffic generates
+// per-vertex heat, and Cluster.RebalanceOnce cycles batch-migrate the hot
+// vertices toward their neighbors. Reported: the cross-shard edge fraction
+// and mean traversal latency before vs after convergence, plus the
+// stop-the-world cost the migration batches incurred. Simulated network
+// delay makes cross-shard hops the dominant traversal cost, exactly as in
+// a real deployment.
+
+import (
+	"fmt"
+	"time"
+
+	"weaver"
+	"weaver/internal/bench"
+	"weaver/internal/graph"
+	"weaver/internal/partition"
+)
+
+// RebalanceResult reports the repartitioning experiment.
+type RebalanceResult struct {
+	Communities, Size, Shards int
+	CutBeforePct, CutAfterPct float64       // cross-shard edge fraction
+	TravBefore, TravAfter     time.Duration // mean latency per community traversal
+	Moved                     int           // vertices re-homed to converge
+	Batches                   uint64        // MigrateBatch calls (= pauses) it took
+	PauseTotal, PauseMax      time.Duration
+}
+
+// Rebalance runs the experiment: communities scale with Options.RandV
+// (RandV/100 communities of 12, minimum 8), shards from Options.Shards.
+func Rebalance(o Options) (*RebalanceResult, error) {
+	r := &RebalanceResult{Size: 12, Communities: o.RandV / 100, Shards: o.Shards}
+	if r.Communities < 8 {
+		r.Communities = 8
+	}
+	if r.Shards < 2 {
+		r.Shards = 2
+	}
+	mapped := partition.NewMapped(partition.NewHash(r.Shards))
+	vid := func(ci, j int) weaver.VertexID { return weaver.VertexID(fmt.Sprintf("c%dv%d", ci, j)) }
+	var edges [][2]graph.VertexID
+	for ci := 0; ci < r.Communities; ci++ {
+		for j := 0; j < r.Size; j++ {
+			mapped.Assign(vid(ci, j), j%r.Shards) // adversarial scatter
+			for _, d := range []int{1, 2} {       // ring + chord intra-community edges
+				edges = append(edges, [2]graph.VertexID{vid(ci, j), vid(ci, (j+d)%r.Size)})
+			}
+		}
+	}
+	c, err := weaver.Open(weaver.Config{
+		Gatekeepers:    o.Gatekeepers,
+		Shards:         r.Shards,
+		AnnouncePeriod: o.Tau,
+		NopPeriod:      o.Nop,
+		Directory:      mapped,
+		RebalanceSlack: 1.0,
+		NetDelayMin:    50 * time.Microsecond,
+		NetDelayMax:    100 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	cl := c.Client()
+	for ci := 0; ci < r.Communities; ci++ {
+		ci := ci
+		if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+			for j := 0; j < r.Size; j++ {
+				tx.CreateVertex(vid(ci, j))
+			}
+			for j := 0; j < r.Size; j++ {
+				for _, d := range []int{1, 2} {
+					tx.CreateEdge(vid(ci, j), vid(ci, (j+d)%r.Size))
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		return nil, err
+	}
+
+	traverseAll := func() (time.Duration, error) {
+		t0 := time.Now()
+		for ci := 0; ci < r.Communities; ci++ {
+			ids, _, err := cl.Traverse(vid(ci, 0), "", "", 0)
+			if err != nil {
+				return 0, err
+			}
+			if len(ids) != r.Size {
+				return 0, fmt.Errorf("experiments: rebalance traverse c%d: %d of %d vertices", ci, len(ids), r.Size)
+			}
+		}
+		return time.Since(t0) / time.Duration(r.Communities), nil
+	}
+	cutPct := func() float64 {
+		return float64(partition.EdgeCut(c.Directory(), edges)) / float64(len(edges)) * 100
+	}
+
+	r.CutBeforePct = cutPct()
+	if r.TravBefore, err = traverseAll(); err != nil { // doubles as the heat signal
+		return nil, err
+	}
+	for cycle := 0; cycle < 8; cycle++ {
+		n, err := c.RebalanceOnce()
+		if err != nil {
+			return nil, err
+		}
+		r.Moved += n
+		if n == 0 {
+			break
+		}
+		if _, err := traverseAll(); err != nil { // keep heat flowing between cycles
+			return nil, err
+		}
+	}
+	r.CutAfterPct = cutPct()
+	if r.TravAfter, err = traverseAll(); err != nil {
+		return nil, err
+	}
+	st := c.Stats().Rebalance
+	r.Batches, r.PauseTotal, r.PauseMax = st.Batches, st.PauseTotal, st.PauseMax
+	return r, nil
+}
+
+// String renders the paper-style table.
+func (r *RebalanceResult) String() string {
+	t := bench.NewTable("phase", "edge-cut%", "traverse µs")
+	t.Row("scattered", r.CutBeforePct, float64(r.TravBefore.Microseconds()))
+	t.Row("rebalanced", r.CutAfterPct, float64(r.TravAfter.Microseconds()))
+	return fmt.Sprintf(
+		"Online repartitioning (§4.6): heat-driven LDG rebalance, %d communities × %d vertices, %d shards\n%s"+
+			"moved %d vertices in %d batched pause(s); pause total %v, max %v",
+		r.Communities, r.Size, r.Shards, t.String(), r.Moved, r.Batches,
+		r.PauseTotal.Round(time.Microsecond), r.PauseMax.Round(time.Microsecond))
+}

@@ -118,6 +118,7 @@ type Stats struct {
 	TxRetries     uint64
 	TxApplied     uint64 // shard apply acknowledgements received
 	ApplyPending  uint64 // forwarded write-sets not yet acknowledged
+	Pauses        uint64 // intake pauses (epoch barriers, bulk loads, migration batches)
 	Announces     uint64
 	Nops          uint64
 	ProgsStarted  uint64
@@ -170,6 +171,7 @@ type Gatekeeper struct {
 	txRetries     atomic.Uint64
 	txApplied     atomic.Uint64
 	applyPending  atomic.Int64
+	pauses        atomic.Uint64
 	announces     atomic.Uint64
 	nops          atomic.Uint64
 	progsStarted  atomic.Uint64
@@ -218,8 +220,14 @@ func (g *Gatekeeper) heartbeat() {
 }
 
 // Pause blocks new transactions and node programs until Resume; the
-// cluster manager brackets epoch barriers with Pause/Resume (§4.3).
-func (g *Gatekeeper) Pause() { g.pause.Lock() }
+// cluster manager brackets epoch barriers with Pause/Resume (§4.3), and
+// bulk loads and vertex-migration batches use the same gate. The pause
+// counter in Stats lets tests assert how many stop-the-world windows an
+// operation cost (MigrateBatch promises exactly one for a whole batch).
+func (g *Gatekeeper) Pause() {
+	g.pause.Lock()
+	g.pauses.Add(1)
+}
 
 // Resume reverses Pause.
 func (g *Gatekeeper) Resume() { g.pause.Unlock() }
@@ -250,6 +258,7 @@ func (g *Gatekeeper) Stats() Stats {
 		TxRetries:     g.txRetries.Load(),
 		TxApplied:     g.txApplied.Load(),
 		ApplyPending:  uint64(max(g.applyPending.Load(), 0)),
+		Pauses:        g.pauses.Load(),
 		Announces:     g.announces.Load(),
 		Nops:          g.nops.Load(),
 		ProgsStarted:  g.progsStarted.Load(),

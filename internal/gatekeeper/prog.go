@@ -69,7 +69,7 @@ func (g *Gatekeeper) runProgramAt(ts core.Timestamp, prog string, params []byte,
 		id := g.hopSeq.Add(1) | coordinatorHopBit
 		p.pending[id] = struct{}{}
 		s := g.lookupShard(v)
-		byShard[s] = append(byShard[s], wire.Hop{ID: id, Vertex: v, Program: prog, Params: params})
+		byShard[s] = append(byShard[s], wire.Hop{ID: id, Vertex: v, Program: prog, Params: params, Origin: -1})
 	}
 	for s := range byShard {
 		p.shards[s] = struct{}{}

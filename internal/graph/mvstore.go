@@ -368,6 +368,22 @@ func (s *Store) EvictBefore(watermark core.Timestamp, limit int) []VertexID {
 	return out
 }
 
+// Remove drops the entire resident version history of one vertex — the
+// source-shard half of vertex migration (§4.6). Like recovery and demand
+// paging, migration truncates history to the last committed record: the
+// backing store holds that record (now homed elsewhere), so dropping the
+// local chain leaves nothing unreachable to future readers, whose hops
+// route to the new home. Callers must guarantee no conflicting transaction
+// is applying and no node program is reading (gatekeepers paused, applies
+// quiesced, programs drained). Reports whether the vertex was resident.
+func (s *Store) Remove(v VertexID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.vertices[v]
+	delete(s.vertices, v)
+	return ok
+}
+
 // Has reports whether any version of the vertex is resident.
 func (s *Store) Has(id VertexID) bool {
 	s.mu.RLock()

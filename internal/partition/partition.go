@@ -108,6 +108,45 @@ func NewLDG(n int, expectedVertices int, slack float64) *LDG {
 	return &LDG{n: n, capacity: cap, load: make([]int, n), placed: make(map[graph.VertexID]int)}
 }
 
+// NewLDGRebalance returns a partitioner primed for online repartitioning
+// (§4.6): loads carries the current per-shard resident vertex counts, and
+// capacity is sized from those plus the expectedMoves vertices about to be
+// re-placed. Unlike NewLDG — which assumes an empty cluster filling up —
+// this makes the capacity penalty reflect the shards as they are, so a
+// re-placed vertex is pulled toward its neighbors without overloading an
+// already-full shard.
+func NewLDGRebalance(loads []int, expectedMoves int, slack float64) *LDG {
+	n := len(loads)
+	if n <= 0 {
+		panic("partition: need at least one shard")
+	}
+	total := expectedMoves
+	for _, l := range loads {
+		total += l
+	}
+	cap := (1.0 + slack) * float64(total) / float64(n)
+	if cap < 1 {
+		cap = 1
+	}
+	l := &LDG{n: n, capacity: cap, load: make([]int, n), placed: make(map[graph.VertexID]int)}
+	copy(l.load, loads)
+	return l
+}
+
+// Seed pins an existing placement without charging load for it: the vertex
+// is already counted in the loads the partitioner was constructed with.
+// Rebalancing seeds the current homes of the vertices adjacent to the ones
+// being re-placed, so Place scores candidate shards by where neighbors
+// actually live today.
+func (l *LDG) Seed(v graph.VertexID, shard int) {
+	if shard < 0 || shard >= l.n {
+		return
+	}
+	if _, ok := l.placed[v]; !ok {
+		l.placed[v] = shard
+	}
+}
+
 // Place assigns v given its neighbor list, returning the chosen shard.
 // Re-placing a vertex returns its existing assignment.
 func (l *LDG) Place(v graph.VertexID, neighbors []graph.VertexID) int {

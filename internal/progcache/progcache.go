@@ -68,7 +68,10 @@ func New(capacity int) *Cache {
 	}
 }
 
-// Get returns the memoized result, if present.
+// Get returns the memoized result, if present. The returned slices are a
+// defensive deep copy: the cache hands every hit its own buffers, so a
+// caller mutating (or appending to) a result cannot corrupt what later
+// hits observe.
 func (c *Cache) Get(k Key) ([][]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -79,7 +82,11 @@ func (c *Cache) Get(k Key) ([][]byte, bool) {
 	}
 	c.hits++
 	c.lru.MoveToFront(e.lru)
-	return e.result, true
+	out := make([][]byte, len(e.result))
+	for i, r := range e.result {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out, true
 }
 
 // Put memoizes a result together with the vertices it depends on (the

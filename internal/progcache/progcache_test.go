@@ -39,6 +39,32 @@ func TestPutGetInvalidate(t *testing.T) {
 	}
 }
 
+// A memoized result must be immune to caller mutation: Get hands out its
+// own buffers, so writing into (or appending to) a hit must not corrupt
+// what the next hit observes.
+func TestGetReturnsDefensiveCopy(t *testing.T) {
+	c := New(16)
+	k := key("a")
+	c.Put(k, [][]byte{[]byte("path"), []byte("tail")}, []graph.VertexID{"a"})
+
+	res, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss")
+	}
+	res[0][0] = 'X'             // mutate a shared byte buffer
+	res[1] = []byte("replaced") // swap an element outright
+	res = append(res, []byte("extra"))
+	_ = res
+
+	again, ok := c.Get(k)
+	if !ok {
+		t.Fatal("entry lost")
+	}
+	if len(again) != 2 || string(again[0]) != "path" || string(again[1]) != "tail" {
+		t.Fatalf("cache corrupted by caller mutation: %q", again)
+	}
+}
+
 func TestOverwriteReplacesDeps(t *testing.T) {
 	c := New(16)
 	k := key("a")

@@ -104,7 +104,20 @@ func (s *Shard) runBatch(b *hopBatch) {
 	var results [][]byte
 	remote := make(map[int][]wire.Hop)
 	visits := 0
+	// Heat attribution (§4.6): every visit warms its vertex; a visit whose
+	// hop arrived from another shard warms it more (that hop is the
+	// cross-partition traffic repartitioning wants to eliminate). Credits
+	// accumulate locally and flush in one lock acquisition per batch —
+	// BEFORE the batch's delta leaves the shard, so a migration that
+	// drains programs and then evicts a vertex's heat cannot be overtaken
+	// by a late flush resurrecting the entry on the source shard.
+	credits := make(map[graph.VertexID]float64)
+	flushHeat := func() {
+		s.heat.addMany(credits)
+		credits = nil
+	}
 	fail := func(err error) {
+		flushHeat()
 		s.ep.Send(b.coordinator, wire.ProgDelta{QID: b.qid, Err: err.Error()})
 		delete(s.progState, b.qid)
 	}
@@ -117,6 +130,10 @@ func (s *Shard) runBatch(b *hopBatch) {
 		work = work[:len(work)-1]
 		visits++
 		s.progVisits.Add(1)
+		credits[hop.Vertex] += heatVisit
+		if hop.Origin >= 0 && hop.Origin != s.cfg.ID {
+			credits[hop.Vertex] += heatRemoteHop
+		}
 
 		p, found := s.reg.Get(hop.Program)
 		if !found {
@@ -160,14 +177,15 @@ func (s *Shard) runBatch(b *hopBatch) {
 				// high bits) for the coordinator's spawn/consume
 				// matching.
 				id := s.hopSeq.Add(1) | uint64(s.cfg.ID+1)<<48
-				remote[tgt] = append(remote[tgt], wire.Hop{ID: id, Vertex: nh.Vertex, Program: nextProg, Params: nh.Params})
+				remote[tgt] = append(remote[tgt], wire.Hop{ID: id, Vertex: nh.Vertex, Program: nextProg, Params: nh.Params, Origin: s.cfg.ID})
 			} else {
 				// Local cascade: executed in this batch, no ID needed.
-				work = append(work, wire.Hop{Vertex: nh.Vertex, Program: nextProg, Params: nh.Params})
+				work = append(work, wire.Hop{Vertex: nh.Vertex, Program: nextProg, Params: nh.Params, Origin: s.cfg.ID})
 			}
 		}
 	}
 
+	flushHeat()
 	var spawnedIDs []uint64
 	for tgt, hops := range remote {
 		for _, h := range hops {

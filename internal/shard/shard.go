@@ -141,6 +141,7 @@ type Shard struct {
 	gcReports  map[int]core.Timestamp
 	pager      Pager
 	pool       *workerPool
+	heat       *heatMap
 	pagedIn    atomic.Uint64
 	pagedOut   atomic.Uint64
 
@@ -192,6 +193,7 @@ func New(cfg Config, ep transport.Endpoint, orc oracle.Client, reg *nodeprog.Reg
 		finished:   make(map[core.ID]struct{}),
 		orderCache: make(map[[2]core.ID]core.Order),
 		gcReports:  make(map[int]core.Timestamp),
+		heat:       newHeatMap(),
 		ctrl:       make(chan func()),
 	}
 	for i := range s.reseq {
@@ -561,6 +563,7 @@ func (s *Shard) order(a, b core.Timestamp) core.Order {
 // paged back in, and the transaction's remaining operations on that vertex
 // are skipped to avoid double application.
 func (s *Shard) apply(q queued) {
+	s.heat.addOps(q.ops)
 	if s.pager == nil {
 		// Hot path: the whole transaction under one store-lock
 		// acquisition, counters batched per transaction.

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -270,5 +271,17 @@ func TestShardEnterEpochExecutesStalledQueue(t *testing.T) {
 	}
 	if !sh.Graph().Has("stalled") {
 		t.Fatal("queued transaction not applied at the barrier")
+	}
+}
+
+// The heat table must stay bounded even when no rebalancer ever decays it:
+// churn over many distinct vertices hard-caps at heatMaxEntries.
+func TestHeatMapBounded(t *testing.T) {
+	h := newHeatMap()
+	for i := 0; i < heatMaxEntries+heatMaxEntries/2; i++ {
+		h.addOps([]graph.Op{{Kind: graph.OpSetVertexProp, Vertex: graph.VertexID(fmt.Sprintf("v%d", i))}})
+	}
+	if n := len(h.topK(0, 0)); n > heatMaxEntries {
+		t.Fatalf("heat table grew to %d entries (cap %d)", n, heatMaxEntries)
 	}
 }

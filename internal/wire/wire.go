@@ -73,11 +73,18 @@ type ProgHops struct {
 // report, so termination detection is immune to delta reordering (a
 // transient zero of a mere counter would end queries early when a
 // consumption report overtakes the spawn report it answers).
+//
+// Origin is the index of the shard that spawned the hop, or -1 when the
+// coordinating gatekeeper did (a query's initial hops). The executing shard
+// uses it for heat attribution (§4.6): a hop whose Origin is another shard
+// crossed a partition boundary — exactly the traffic heat-driven
+// repartitioning tries to make local — and is weighted accordingly.
 type Hop struct {
 	ID      uint64
 	Vertex  graph.VertexID
 	Program string
 	Params  []byte
+	Origin  int
 }
 
 // ProgDelta reports execution progress from a shard to the coordinator:

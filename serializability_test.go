@@ -47,24 +47,34 @@ type stressTx struct {
 
 func runSerializabilityStress(t *testing.T, shardWorkers int) {
 	t.Helper()
+	runStressAndVerify(t, weaver.Config{
+		Gatekeepers:    3,
+		Shards:         3,
+		AnnouncePeriod: 200 * time.Microsecond,
+		NopPeriod:      100 * time.Microsecond,
+		ShardWorkers:   shardWorkers,
+	}, nil)
+}
+
+// chaosFn runs alongside the stress workload (background repartitioning,
+// concurrent readers, ...) until stop closes; failures go to errCh. The
+// workload waits for ready() before starting — chaos calls it once its
+// disruption is demonstrably under way, so a starved goroutine on a loaded
+// single-core runner cannot reduce the test to a chaos-free run.
+type chaosFn func(c *weaver.Cluster, regs []weaver.VertexID, ready func(), stop <-chan struct{}, errCh chan<- error)
+
+func runStressAndVerify(t *testing.T, cfg weaver.Config, chaos chaosFn) {
+	t.Helper()
 	const (
-		gatekeepers = 3
-		shards      = 3
-		registers   = 24
-		clients     = 6
+		registers = 24
+		clients   = 6
 	)
 	txPerClient := 100
 	if testing.Short() {
 		txPerClient = 30
 	}
 
-	c, err := weaver.Open(weaver.Config{
-		Gatekeepers:    gatekeepers,
-		Shards:         shards,
-		AnnouncePeriod: 200 * time.Microsecond,
-		NopPeriod:      100 * time.Microsecond,
-		ShardWorkers:   shardWorkers,
-	})
+	c, err := weaver.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,6 +98,28 @@ func runSerializabilityStress(t *testing.T, shardWorkers int) {
 		history []stressTx
 		nextID  int
 	)
+	chaosStop := make(chan struct{})
+	chaosDone := make(chan struct{})
+	chaosErr := make(chan error, 16)
+	if chaos != nil {
+		regs := make([]weaver.VertexID, registers)
+		for i := range regs {
+			regs[i] = reg(i)
+		}
+		var readyOnce sync.Once
+		chaosReady := make(chan struct{})
+		ready := func() { readyOnce.Do(func() { close(chaosReady) }) }
+		go func() {
+			defer close(chaosDone)
+			chaos(c, regs, ready, chaosStop, chaosErr)
+		}()
+		select {
+		case <-chaosReady:
+		case <-chaosDone: // chaos bailed before becoming ready; its error surfaces below
+		}
+	} else {
+		close(chaosDone)
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, clients)
 	for cl := 0; cl < clients; cl++ {
@@ -149,6 +181,12 @@ func runSerializabilityStress(t *testing.T, shardWorkers int) {
 		}(int64(cl + 1))
 	}
 	wg.Wait()
+	close(chaosStop)
+	<-chaosDone
+	close(chaosErr)
+	for err := range chaosErr {
+		t.Fatal(err)
+	}
 	close(errCh)
 	for err := range errCh {
 		t.Fatal(err)
@@ -261,7 +299,7 @@ func runSerializabilityStress(t *testing.T, shardWorkers int) {
 	}
 
 	// The parallel path must actually have batched something when enabled.
-	if shardWorkers > 1 {
+	if cfg.ShardWorkers > 1 {
 		var maxBatch uint64
 		for _, st := range c.Stats().Shards {
 			if st.MaxBatchTx > maxBatch {
@@ -280,6 +318,92 @@ func TestStrictSerializabilitySerialApply(t *testing.T) {
 
 func TestStrictSerializabilityParallelApply(t *testing.T) {
 	runSerializabilityStress(t, 8)
+}
+
+// TestStrictSerializabilityUnderMigration runs the full stress workload
+// while a background migrator batch-moves the very registers under
+// contention between shards (§4.6 online repartitioning) and a concurrent
+// reader hammers them through the node-program path. Strict
+// serializability must hold across every handoff, and no read may be lost:
+// a register must never appear missing while its record changes homes.
+func TestStrictSerializabilityUnderMigration(t *testing.T) {
+	cfg := weaver.Config{
+		Gatekeepers:    2,
+		Shards:         3,
+		AnnouncePeriod: 200 * time.Microsecond,
+		NopPeriod:      100 * time.Microsecond,
+		ShardWorkers:   4,
+		Directory:      weaver.NewMappedDirectory(3),
+	}
+	shards := cfg.Shards
+	runStressAndVerify(t, cfg, func(c *weaver.Cluster, regs []weaver.VertexID, ready func(), stop <-chan struct{}, errCh chan<- error) {
+		var wg sync.WaitGroup
+		// Migrator: rotate a sliding window of registers to the next
+		// shard, one batched pause per window. The workload starts only
+		// after the first batch lands (ready), guaranteeing writes and
+		// reads really do overlap ongoing migrations.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ready()
+			const window = 8
+			for i := 0; ; i++ {
+				if i > 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				moves := make([]weaver.Move, 0, window)
+				for j := 0; j < window; j++ {
+					v := regs[(i*window+j)%len(regs)]
+					moves = append(moves, weaver.Move{
+						Vertex: v,
+						Target: (c.Directory().Lookup(v) + 1) % shards,
+					})
+				}
+				if _, err := c.MigrateBatch(moves); err != nil {
+					errCh <- fmt.Errorf("migrate batch %d: %w", i, err)
+					return
+				}
+				if i == 0 {
+					ready()
+				}
+			}
+		}()
+		// Reader: a register mid-migration must stay continuously
+		// readable through the full ordering machinery.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := c.Client()
+			r := rand.New(rand.NewSource(99))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := regs[r.Intn(len(regs))]
+				d, ok, err := cl.GetNode(v)
+				if err != nil || !ok {
+					errCh <- fmt.Errorf("read %d of %q lost during handoff: ok=%v err=%v", i, v, ok, err)
+					return
+				}
+				if _, perr := strconv.Atoi(d.Props["n"]); perr != nil {
+					errCh <- fmt.Errorf("register %q holds %q mid-migration: %v", v, d.Props["n"], perr)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		// The migrator must have actually exercised handoffs.
+		if st := c.Stats().Rebalance; st.MovesTotal == 0 {
+			errCh <- fmt.Errorf("migration chaos moved nothing: %+v", st)
+		}
+	})
 }
 
 // TestParallelShardStopIdempotent guards the worker-pool lifecycle:

@@ -64,6 +64,16 @@
 // automatic Checkpoint — crash-safe ingest without a WAL record per
 // commit.
 //
+// # Online repartitioning
+//
+// Shards track per-vertex heat (writes, node-program visits, cross-shard
+// hops, decayed over time; Cluster.Heat). Cluster.MigrateBatch re-homes any
+// number of vertices under one gatekeeper pause — commit the re-homed
+// records in one backing-store transaction, install on the targets, evict
+// the source copies, repoint the directory — and a background rebalancer
+// (Config.RebalanceInterval) feeds hot vertices through the LDG streaming
+// partitioner to keep placement tracking the workload (§4.6).
+//
 // Quick start:
 //
 //	c, _ := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 2})
@@ -181,6 +191,18 @@ type Config struct {
 	// ShardMaxBatch caps one parallel apply batch (0 = 256), bounding
 	// batch-barrier latency. Ignored unless ShardWorkers > 1.
 	ShardMaxBatch int
+	// RebalanceInterval, when positive, runs the background heat-driven
+	// rebalancer (§4.6): every interval the hottest vertices across all
+	// shards are re-placed with the LDG streaming partitioner against
+	// their live adjacency and migrated in one batched pause
+	// (Cluster.MigrateBatch). Requires Config.Directory to be assignable
+	// (see NewMappedDirectory); Open fails otherwise. Zero disables the
+	// loop — Cluster.RebalanceOnce still runs a cycle on demand.
+	RebalanceInterval time.Duration
+	// RebalanceSlack is the LDG capacity slack factor for rebalancing
+	// (e.g. 0.1 lets each shard hold 10% above the balanced share).
+	// 0 = 0.1.
+	RebalanceSlack float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -215,6 +237,8 @@ type Cluster struct {
 	closeOnce  sync.Once
 	closeErr   error
 	closed     atomic.Bool
+
+	rebal rebalState
 }
 
 // Open builds and starts a cluster.
@@ -248,6 +272,12 @@ func Open(cfg Config) (*Cluster, error) {
 	c.dir = cfg.Directory
 	if c.dir == nil {
 		c.dir = partition.NewHash(cfg.Shards)
+	}
+	if cfg.RebalanceInterval > 0 {
+		if _, ok := c.dir.(*partition.Mapped); !ok {
+			c.kv.Close()
+			return nil, errors.New("weaver: Config.RebalanceInterval requires an assignable directory (see NewMappedDirectory)")
+		}
 	}
 
 	heartbeat := time.Duration(0)
@@ -330,6 +360,9 @@ func Open(cfg Config) (*Cluster, error) {
 			})
 		}
 		c.mgr.Start()
+	}
+	if cfg.RebalanceInterval > 0 {
+		c.startRebalancer()
 	}
 	return c, nil
 }
@@ -467,6 +500,10 @@ const epochKey = "meta/epoch"
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
+		// The rebalancer stops first, and stopRebalancer waits out any
+		// in-flight migration batch, so a batch never runs against
+		// half-stopped gatekeepers.
+		c.stopRebalancer()
 		if c.mgr != nil {
 			c.mgr.Stop()
 		}
@@ -529,11 +566,12 @@ type Stats struct {
 	Shards      []shard.Stats
 	Oracle      oracle.Stats
 	Store       kvstore.Stats
+	Rebalance   RebalanceStats
 }
 
 // Stats returns a snapshot of all counters.
 func (c *Cluster) Stats() Stats {
-	st := Stats{Oracle: c.orc.Stats(), Store: c.kv.Stats()}
+	st := Stats{Oracle: c.orc.Stats(), Store: c.kv.Stats(), Rebalance: c.rebalanceStats()}
 	c.serversMu.RLock()
 	defer c.serversMu.RUnlock()
 	for _, gk := range c.gks {
