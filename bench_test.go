@@ -625,6 +625,26 @@ func BenchmarkAblationOracleReplication(b *testing.B) {
 // RebalanceOnce cycles batch-migrate the hot vertices toward their
 // neighbors. Reported: cross-shard edge fraction and traversal latency
 // before vs after convergence, and the largest stop-the-world pause paid.
+// BenchmarkHistoricalRead measures node-program reads at a pinned past
+// snapshot against current-timestamp reads over the same vertices, with
+// version history accumulated between the snapshot and now, and reports
+// the write-throughput cost of running historical auditors concurrently
+// (the §4.5 time-travel experiment; weaver-bench -experiment timetravel).
+func BenchmarkHistoricalRead(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TimeTravel(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WriteOnlyTPS, "write_tx/s")
+		b.ReportMetric(res.WriteMixedTPS, "write_mixed_tx/s")
+		b.ReportMetric(res.HistReadsPerSec, "hist_reads/s")
+		b.ReportMetric(float64(res.HistMean.Microseconds()), "hist_read_us")
+		b.ReportMetric(float64(res.CurMean.Microseconds()), "cur_read_us")
+	}
+}
+
 func BenchmarkRebalance(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {

@@ -1,19 +1,71 @@
 // CoinGraph example (§5.2): a blockchain explorer on Weaver. Loads a
 // synthetic Bitcoin-style chain, renders blocks with the block_render node
-// program, and runs a taint-tracking traversal from one transaction
-// through the spend graph — the kind of flow analysis the paper built
-// CoinGraph for.
+// program, and — the time-travel headline — AUDITS ADDRESS BALANCES AS OF
+// A PAST BLOCK while new blocks keep committing: the paper's CoinGraph
+// audit scenario, enabled by pinned snapshot timestamps over the
+// multi-version graph (Cluster.SnapshotTS, Client.At).
 package main
 
 import (
 	"fmt"
 	"log"
+	"strconv"
 
 	"weaver"
-	"weaver/internal/experiments"
 	"weaver/internal/nodeprog"
 	"weaver/internal/workload"
 )
+
+// loadBlock commits one block as a single Weaver transaction, maintaining
+// a running "recv" (outputs received) counter on every paid address — the
+// balance an auditor asks about. recv mirrors the counters client-side so
+// the closure stays idempotent under commit retry.
+func loadBlock(cl *weaver.Client, bv workload.BlockVertex, recv map[weaver.VertexID]int) error {
+	fresh := map[weaver.VertexID]bool{}
+	paid := map[weaver.VertexID]int{}
+	for _, tv := range bv.Txs {
+		for _, out := range tv.Outputs {
+			if _, seen := recv[out]; !seen {
+				fresh[out] = true
+			}
+			paid[out]++
+		}
+	}
+	_, err := cl.RunTx(func(tx *weaver.Tx) error {
+		tx.CreateVertex(bv.Block)
+		if bv.Prev != "" {
+			e := tx.CreateEdge(bv.Block, bv.Prev)
+			tx.SetEdgeProperty(bv.Block, e, "kind", "prev")
+		}
+		for a := range fresh {
+			tx.CreateVertex(a)
+		}
+		for _, tv := range bv.Txs {
+			tx.CreateVertex(tv.Tx)
+			be := tx.CreateEdge(bv.Block, tv.Tx)
+			tx.SetEdgeProperty(bv.Block, be, "kind", "tx")
+			for _, in := range tv.Inputs {
+				ie := tx.CreateEdge(tv.Tx, in)
+				tx.SetEdgeProperty(tv.Tx, ie, "kind", "in")
+			}
+			for _, out := range tv.Outputs {
+				oe := tx.CreateEdge(tv.Tx, out)
+				tx.SetEdgeProperty(tv.Tx, oe, "kind", "out")
+			}
+		}
+		for a, n := range paid {
+			tx.SetProperty(a, "recv", strconv.Itoa(recv[a]+n))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for a, n := range paid {
+		recv[a] += n
+	}
+	return nil
+}
 
 func main() {
 	c, err := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 4})
@@ -23,16 +75,100 @@ func main() {
 	defer c.Close()
 	cl := c.Client()
 
-	// Load a 150-block synthetic chain (blocks grow with height as in
-	// Bitcoin's history).
-	bc := workload.NewBlockchain(150, 7)
-	if err := experiments.LoadBlockchainWeaver(c, bc); err != nil {
+	// Generate a 120-block synthetic chain (blocks grow with height as in
+	// Bitcoin's history) and commit the first 80 transactionally.
+	const auditHeight = 80
+	bc := workload.NewBlockchain(120, 7)
+	var blocks []workload.BlockVertex
+	bc.Generate(func(bv workload.BlockVertex) { blocks = append(blocks, bv) })
+	recv := map[weaver.VertexID]int{}
+	for _, bv := range blocks[:auditHeight] {
+		if err := loadBlock(cl, bv, recv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("committed blocks 0..%d (%d addresses seen)\n", auditHeight-1, len(recv))
+
+	// Pin the audit point: "the chain as of block 79". Everything the
+	// auditor reads through this snapshot is frozen here, held against
+	// version GC until Close, while new blocks commit freely.
+	snap, err := c.SnapshotTS()
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded %d blocks, %d transactions, %d addresses\n", bc.Blocks, bc.Txs, bc.Addresses)
+	defer snap.Close()
+	// Record what the auditor should find: the busiest address as of the
+	// audit point that keeps receiving afterwards, so the live balance
+	// visibly diverges from the audited one.
+	later := map[weaver.VertexID]int{}
+	for _, bv := range blocks[auditHeight:] {
+		for _, tv := range bv.Txs {
+			for _, out := range tv.Outputs {
+				later[out]++
+			}
+		}
+	}
+	auditAddr, auditRecv := weaver.VertexID(""), -1
+	for a, n := range recv {
+		if later[a] > 0 && (n > auditRecv || (n == auditRecv && a < auditAddr)) {
+			auditAddr, auditRecv = a, n
+		}
+	}
 
-	// Render a block: block vertex → its transactions → inputs/outputs.
-	const height = 140
+	// New blocks keep arriving while the audit runs.
+	done := make(chan error, 1)
+	go func() {
+		loader := c.Client()
+		for _, bv := range blocks[auditHeight:] {
+			if err := loadBlock(loader, bv, recv); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	// The audit: balance of the busiest address as of block 79, read
+	// through the pinned snapshot while the chain grows underneath it.
+	auditor := c.Client().At(snap.TS())
+	for i := 0; i < 3; i++ {
+		d, ok, err := auditor.GetNode(auditAddr)
+		if err != nil || !ok {
+			log.Fatalf("audit read %d of %s: ok=%v err=%v", i, auditAddr, ok, err)
+		}
+		if d.Props["recv"] != strconv.Itoa(auditRecv) {
+			log.Fatalf("audit drifted: %s recv=%q as of block %d, expected %d",
+				auditAddr, d.Props["recv"], auditHeight-1, auditRecv)
+		}
+		fmt.Printf("audit as of block %d: %s received %s outputs (stable read %d)\n",
+			auditHeight-1, auditAddr, d.Props["recv"], i+1)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+
+	// Chain fully committed: the live read has moved on, the audit has not.
+	live, ok, err := cl.GetNode(auditAddr)
+	if err != nil || !ok {
+		log.Fatalf("live read of %s: ok=%v err=%v", auditAddr, ok, err)
+	}
+	frozen, _, err := auditor.GetNode(auditAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after %d blocks: live recv=%s, audited-as-of-block-%d recv=%s\n",
+		bc.Blocks, live.Props["recv"], auditHeight-1, frozen.Props["recv"])
+
+	// Blocks after the audit point do not exist at the snapshot.
+	if out, err := auditor.RunProgram("block_render", nil, workload.BlockID(auditHeight+10)); err != nil {
+		log.Fatal(err)
+	} else if len(out) != 0 {
+		log.Fatalf("block %d visible at snapshot taken at block %d", auditHeight+10, auditHeight-1)
+	}
+	fmt.Printf("block %d: not yet mined as of the snapshot\n", auditHeight+10)
+
+	// The explorer still works live: render a recent block…
+	height := bc.Blocks - 10
 	out, _, err := cl.RunProgram("block_render", nil, workload.BlockID(height))
 	if err != nil {
 		log.Fatal(err)
@@ -50,17 +186,12 @@ func main() {
 		fmt.Printf("  %s: %d inputs, %d outputs\n", tx.Tx, len(tx.Inputs), len(tx.Outputs))
 	}
 
-	// Taint tracking: which transactions and addresses are downstream of
-	// tx/0? Inputs point backwards (tx → the tx it spends), so taint
-	// flows along in-edges in reverse; here we walk forward along "out"
-	// edges to addresses and use reachability over the spend graph.
+	// …trace taint one hop from tx/0, and walk the chain back from the tip.
 	ids, _, err := cl.Traverse(workload.TxID(0), "kind", "out", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("tx/0 paid %d outputs: %v\n", len(ids)-1, ids[1:])
-
-	// Follow the chain backwards from the tip via prev links.
 	tip := workload.BlockID(bc.Blocks - 1)
 	chain, _, err := cl.Traverse(tip, "kind", "prev", 5)
 	if err != nil {

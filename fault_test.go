@@ -2,8 +2,11 @@ package weaver
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
+
+	"weaver/internal/workload"
 )
 
 func faultConfig() Config {
@@ -14,9 +17,14 @@ func faultConfig() Config {
 }
 
 func TestShardCrashRecoveryPreservesData(t *testing.T) {
+	// Seeded randomness (replay with WEAVER_TEST_SEED): the write order
+	// interleaving with the crash is the interesting variable here.
+	seed := workload.TestSeed(t)
+	r := rand.New(rand.NewSource(seed))
 	c := openTest(t, faultConfig())
 	cl := c.Client()
-	for i := 0; i < 40; i++ {
+	order := r.Perm(40)
+	for _, i := range order {
 		id := VertexID(fmt.Sprintf("v%d", i))
 		if _, err := cl.RunTx(func(tx *Tx) error {
 			tx.CreateVertex(id)
@@ -26,7 +34,7 @@ func TestShardCrashRecoveryPreservesData(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for i := 0; i < 39; i++ {
+	for _, i := range r.Perm(39) {
 		if _, err := cl.RunTx(func(tx *Tx) error {
 			tx.CreateEdge(VertexID(fmt.Sprintf("v%d", i)), VertexID(fmt.Sprintf("v%d", i+1)))
 			return nil

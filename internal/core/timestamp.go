@@ -216,6 +216,36 @@ func PointwiseMin(ts ...Timestamp) Timestamp {
 	return out
 }
 
+// PointwiseLE reports whether t ≤ u componentwise (lower epochs compare
+// below higher ones outright). Unlike Compare, the owners are irrelevant:
+// two timestamps with identical vectors are pointwise-≤ in both
+// directions even though they are Concurrent under happens-before. This
+// is the right comparison for watermarks built with PointwiseMin — a
+// reader at u is safe from a GC pass at watermark t iff t ≤ u pointwise,
+// since every collected version ended strictly vector-below t.
+func (t Timestamp) PointwiseLE(u Timestamp) bool {
+	if t.Epoch != u.Epoch {
+		return t.Epoch < u.Epoch
+	}
+	n := len(t.Clock)
+	if len(u.Clock) > n {
+		n = len(u.Clock)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(t.Clock) {
+			a = t.Clock[i]
+		}
+		if i < len(u.Clock) {
+			b = u.Clock[i]
+		}
+		if a > b {
+			return false
+		}
+	}
+	return true
+}
+
 // Before reports whether t happens-before u.
 func (t Timestamp) Before(u Timestamp) bool { return t.Compare(u) == Before }
 

@@ -79,10 +79,30 @@ type Config struct {
 	// GCPeriod is how often GC watermarks are broadcast; 0 disables GC
 	// (retain full multi-version history, §4.5).
 	GCPeriod time.Duration
+	// HistoryRetention, when positive, lags this gatekeeper's GC
+	// watermark reports by the given wall-clock window: a version stays
+	// collectable only once it has been superseded for at least this
+	// long. Because every gatekeeper lags its own report and shards prune
+	// at the pointwise minimum over all reports, any timestamp minted by
+	// any gatekeeper within the window is guaranteed at-or-after the
+	// cluster watermark — historical reads inside the window always pass
+	// the shards' staleness check. Zero reports the live clock (no
+	// retention beyond in-flight operations and pinned snapshots).
+	HistoryRetention time.Duration
 	// ProgTimeout bounds node-program completion waits. 0 = 30s.
 	ProgTimeout time.Duration
 	// MaxCommitRetries bounds internal timestamp-order retries. 0 = 16.
 	MaxCommitRetries int
+	// MaxApplyLag bounds how many forwarded write-sets may be awaiting
+	// shard application before new commits are throttled (admission
+	// control). The commit path (parallel OCC on the backing store) can
+	// sustainably outrun the apply path; without a bound the backlog —
+	// and with it shard queue memory, the oracle's dependency DAG, and
+	// the wait of anything that needs the apply frontier (node programs,
+	// Quiesce, migration drains) — grows without limit. The DAG's size
+	// feeds back into ordering-query cost, so a modest bound keeps the
+	// whole pipeline fast. 0 = 256; negative disables throttling.
+	MaxApplyLag int
 	// HeartbeatPeriod, when positive, sends liveness beats to the
 	// cluster manager (§4.3).
 	HeartbeatPeriod time.Duration
@@ -105,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCommitRetries <= 0 {
 		c.MaxCommitRetries = 16
+	}
+	if c.MaxApplyLag == 0 {
+		c.MaxApplyLag = 256
 	}
 	return c
 }
@@ -131,6 +154,18 @@ type Stats struct {
 // the high bits).
 const coordinatorHopBit = uint64(1) << 63
 
+// pinnedSnapshot is one refcounted GC pin (PinSnapshot/Unpin).
+type pinnedSnapshot struct {
+	ts   core.Timestamp
+	refs int
+}
+
+// retainSample is one (wall time, clock) observation in the retention log.
+type retainSample struct {
+	at time.Time
+	ts core.Timestamp
+}
+
 type progPending struct {
 	ts      core.Timestamp
 	pending map[uint64]struct{} // spawned hops not yet consumed
@@ -149,11 +184,19 @@ type Gatekeeper struct {
 	orc oracle.Client
 	dir partition.Directory
 
-	mu     sync.Mutex
-	clock  *core.VectorClock
-	seq    *transport.Sequencer
-	progs  map[core.ID]*progPending
-	gcSeen map[int]core.Timestamp
+	mu          sync.Mutex
+	clock       *core.VectorClock
+	seq         *transport.Sequencer
+	progs       map[core.ID]*progPending
+	gcSeen      map[int]core.Timestamp
+	gcShardSeen map[int]core.Timestamp
+	// pins holds snapshot timestamps (refcounted by identity) that GC
+	// reports must not advance past: a pinned snapshot keeps every
+	// version it can see alive cluster-wide (§4.5).
+	pins map[core.ID]*pinnedSnapshot
+	// retain is the sample log implementing HistoryRetention: (wall time,
+	// clock) pairs appended on each GC tick, reported once old enough.
+	retain []retainSample
 
 	// pause gates operation intake across epoch barriers (§4.3): the
 	// cluster manager write-locks it while reconfiguring.
@@ -192,6 +235,7 @@ func New(cfg Config, ep transport.Endpoint, kv kvstore.Backing, orc oracle.Clien
 		clock: core.NewVectorClock(cfg.ID, cfg.NumGatekeepers, cfg.Epoch),
 		seq:   transport.NewSequencer(),
 		progs: make(map[core.ID]*progPending),
+		pins:  make(map[core.ID]*pinnedSnapshot),
 		stop:  make(chan struct{}),
 	}
 }
@@ -340,6 +384,55 @@ func (g *Gatekeeper) Snapshot() core.Timestamp {
 	return g.clock.Tick()
 }
 
+// PinSnapshot mints a snapshot timestamp (see Snapshot) and pins it: GC
+// watermark reports from this gatekeeper will not advance past it, so the
+// versions visible at the pin stay readable cluster-wide — shards prune at
+// the pointwise minimum over all gatekeepers' reports, and this
+// gatekeeper's report is in that minimum — until Unpin releases it.
+func (g *Gatekeeper) PinSnapshot() core.Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ts := g.clock.Tick()
+	g.pinLocked(ts)
+	return ts
+}
+
+// Pin pins an existing timestamp against GC. Pins are refcounted by
+// timestamp identity; every Pin needs a matching Unpin. Pinning a
+// timestamp already behind the cluster watermark does not resurrect
+// collected versions — reads at it may still fail with ErrStaleSnapshot.
+func (g *Gatekeeper) Pin(ts core.Timestamp) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pinLocked(ts)
+}
+
+func (g *Gatekeeper) pinLocked(ts core.Timestamp) {
+	id := ts.ID()
+	if p := g.pins[id]; p != nil {
+		p.refs++
+		return
+	}
+	g.pins[id] = &pinnedSnapshot{ts: ts, refs: 1}
+}
+
+// Unpin releases one reference on a pinned snapshot; the last release lets
+// the GC watermark advance past it. Unknown timestamps are ignored (pins
+// do not survive gatekeeper failover; the replacement instance starts
+// empty and its new epoch already orders after everything pinned).
+func (g *Gatekeeper) Unpin(ts core.Timestamp) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := ts.ID()
+	p := g.pins[id]
+	if p == nil {
+		return
+	}
+	if p.refs--; p.refs <= 0 {
+		delete(g.pins, id)
+	}
+}
+
 // AdvanceEpoch moves the clock into a new epoch (cluster manager barrier,
 // §4.3) and resets FIFO sequence numbering toward the shards. Apply
 // accounting resets with it: the barrier's drain means every pre-epoch
@@ -424,6 +517,8 @@ func (g *Gatekeeper) handle(msg transport.Message) {
 		// Gatekeeper 0 aggregates watermarks and prunes the oracle's
 		// event dependency graph (§4.5).
 		g.handleGCReport(m)
+	case wire.ShardGCReport:
+		g.handleShardGCReport(m)
 	}
 }
 
@@ -467,12 +562,71 @@ func (g *Gatekeeper) sendNops() {
 
 func (g *Gatekeeper) sendGCReport() {
 	g.mu.Lock()
-	wm := g.clock.Peek()
+	cur := g.clock.Peek()
+	// The oracle watermark lags only in-flight operations: pins and the
+	// retention window protect graph VERSIONS, not the dependency DAG —
+	// reads resolve visibility without the oracle, so the DAG only needs
+	// orders between transactions still working through the system. This
+	// keeps the oracle small (and its queries fast) under long-lived
+	// snapshots.
+	wmOracle := cur
+	for _, p := range g.progs {
+		wmOracle = core.PointwiseMin(wmOracle, p.ts)
+	}
+	wm := cur
+	if g.cfg.HistoryRetention > 0 {
+		// Report the clock as it stood HistoryRetention ago, so versions
+		// stay readable for the whole window. The sample log is appended
+		// once per GC tick and trimmed to the newest old-enough entry,
+		// bounding it to ~retention/GCPeriod samples.
+		now := time.Now()
+		g.retain = append(g.retain, retainSample{at: now, ts: wm})
+		aged := -1
+		for i := range g.retain {
+			if now.Sub(g.retain[i].at) < g.cfg.HistoryRetention {
+				break
+			}
+			aged = i
+		}
+		if aged < 0 {
+			// Nothing old enough yet: hold every version (a zero
+			// watermark collects nothing).
+			g.retain = trimRetain(g.retain)
+			g.mu.Unlock()
+			g.broadcastGCReport(core.Timestamp{}, wmOracle)
+			return
+		}
+		wm = g.retain[aged].ts
+		g.retain = g.retain[aged:]
+	}
 	for _, p := range g.progs {
 		wm = core.PointwiseMin(wm, p.ts)
 	}
+	for _, p := range g.pins {
+		wm = core.PointwiseMin(wm, p.ts)
+	}
 	g.mu.Unlock()
-	rep := wire.GCReport{GK: g.cfg.ID, TS: wm}
+	g.broadcastGCReport(wm, wmOracle)
+}
+
+// trimRetain bounds the sample log while no sample is old enough to
+// report, guarding against a retention window much longer than the test or
+// process lifetime: keep the oldest sample (the future report) and the
+// most recent tail.
+func trimRetain(log []retainSample) []retainSample {
+	const maxSamples = 1 << 12
+	if len(log) <= maxSamples {
+		return log
+	}
+	head := log[0]
+	tail := log[len(log)-maxSamples/2:]
+	out := make([]retainSample, 0, 1+len(tail))
+	out = append(out, head)
+	return append(out, tail...)
+}
+
+func (g *Gatekeeper) broadcastGCReport(wm, wmOracle core.Timestamp) {
+	rep := wire.GCReport{GK: g.cfg.ID, TS: wm, OracleTS: wmOracle}
 	for s := 0; s < g.cfg.NumShards; s++ {
 		g.ep.Send(transport.ShardAddr(s), rep)
 	}
@@ -480,27 +634,62 @@ func (g *Gatekeeper) sendGCReport() {
 	g.ep.Send(transport.GatekeeperAddr(0), rep)
 }
 
-// handleGCReport aggregates per-gatekeeper watermarks at gatekeeper 0 and,
-// once a report from every gatekeeper is in, prunes the timeline oracle's
-// event dependency graph below the combined watermark (§4.5).
+// handleGCReport aggregates per-gatekeeper ORACLE watermarks at gatekeeper
+// 0; version watermarks (m.TS) are consumed by the shards, not here.
 func (g *Gatekeeper) handleGCReport(m wire.GCReport) {
 	if g.cfg.ID != 0 {
 		return
+	}
+	wm := m.OracleTS
+	if wm.Zero() {
+		wm = m.TS // reports from senders predating the split watermark
 	}
 	g.mu.Lock()
 	if g.gcSeen == nil {
 		g.gcSeen = make(map[int]core.Timestamp)
 	}
-	g.gcSeen[m.GK] = m.TS
-	if len(g.gcSeen) < g.cfg.NumGatekeepers {
+	g.gcSeen[m.GK] = wm
+	g.maybeOracleGCLocked()
+}
+
+// handleShardGCReport folds one shard's apply-progress bound (see
+// wire.ShardGCReport) into the oracle watermark at gatekeeper 0.
+func (g *Gatekeeper) handleShardGCReport(m wire.ShardGCReport) {
+	if g.cfg.ID != 0 {
+		return
+	}
+	g.mu.Lock()
+	if g.gcShardSeen == nil {
+		g.gcShardSeen = make(map[int]core.Timestamp)
+	}
+	g.gcShardSeen[m.Shard] = m.TS
+	g.maybeOracleGCLocked()
+}
+
+// maybeOracleGCLocked prunes the timeline oracle's event dependency graph
+// once a report from every gatekeeper AND every shard is in (§4.5): the
+// combined pointwise minimum is below every in-flight program and every
+// committed-but-unapplied transaction, so no order the shards may still
+// ask about is forgotten. Called with g.mu held; unlocks it.
+func (g *Gatekeeper) maybeOracleGCLocked() {
+	if len(g.gcSeen) < g.cfg.NumGatekeepers || len(g.gcShardSeen) < g.cfg.NumShards {
 		g.mu.Unlock()
 		return
 	}
-	all := make([]core.Timestamp, 0, len(g.gcSeen))
+	all := make([]core.Timestamp, 0, len(g.gcSeen)+len(g.gcShardSeen))
+	zero := false
 	for _, ts := range g.gcSeen {
 		all = append(all, ts)
 	}
+	for _, ts := range g.gcShardSeen {
+		zero = zero || ts.Zero()
+		all = append(all, ts)
+	}
 	g.gcSeen = make(map[int]core.Timestamp)
+	g.gcShardSeen = make(map[int]core.Timestamp)
 	g.mu.Unlock()
+	if zero {
+		return // some shard has no established frontier yet: hold everything
+	}
 	g.orc.GC(core.PointwiseMin(all...))
 }

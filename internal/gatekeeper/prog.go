@@ -18,6 +18,13 @@ var ErrProgTimeout = errors.New("gatekeeper: node program timed out")
 // ErrProgFailed wraps errors raised by a node program visit on a shard.
 var ErrProgFailed = errors.New("gatekeeper: node program failed")
 
+// ErrStaleSnapshot is returned by historical queries whose read timestamp
+// has fallen behind the cluster GC watermark: the versions the query would
+// need may already be collected, so shards refuse to answer rather than
+// return wrong data (§4.5). Reads inside Config.HistoryRetention, and
+// reads at pinned snapshots (PinSnapshot), never hit this.
+var ErrStaleSnapshot = errors.New("gatekeeper: snapshot timestamp behind GC watermark")
+
 // RunProgram launches the named node program at the start vertices and
 // blocks until it terminates everywhere, returning the values the program
 // returned across all visits (§2.3 gather). The program is stamped with a
@@ -27,19 +34,30 @@ func (g *Gatekeeper) RunProgram(prog string, params []byte, start []graph.Vertex
 	g.mu.Lock()
 	ts := g.clock.Tick()
 	g.mu.Unlock()
-	res, err := g.runProgramAt(ts, prog, params, start)
+	res, err := g.runProgram(ts, ts, prog, params, start)
 	return res, ts, err
 }
 
 // RunProgramAt launches a node program reading the graph as of a caller-
 // supplied timestamp — the historical query mode enabled by the
 // multi-version graph (§4.5). The timestamp must have been obtained from
-// this cluster (e.g. a previous commit's timestamp).
-func (g *Gatekeeper) RunProgramAt(ts core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
-	return g.runProgramAt(ts, prog, params, start)
+// this cluster (e.g. a previous commit's timestamp, or Snapshot). The
+// query itself is stamped with a fresh timestamp — its identity for
+// termination detection — so any number of queries, concurrent or
+// repeated, can read at the same pinned snapshot. Returns an error
+// wrapping ErrStaleSnapshot when readTS is behind the GC watermark.
+func (g *Gatekeeper) RunProgramAt(readTS core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
+	g.mu.Lock()
+	qts := g.clock.Tick()
+	g.mu.Unlock()
+	return g.runProgram(qts, readTS, prog, params, start)
 }
 
-func (g *Gatekeeper) runProgramAt(ts core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
+// runProgram coordinates one node program: qts is the query's own fresh
+// timestamp (identity, termination, GC-holding), readTS the snapshot it
+// reads at (== qts for ordinary programs).
+func (g *Gatekeeper) runProgram(qts, readTS core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
+	ts := qts
 	// The pause lock gates issuance only — never the completion wait, or
 	// a program stranded on a crashed shard would stall the epoch barrier
 	// that recovers that very shard (§4.3).
@@ -82,6 +100,7 @@ func (g *Gatekeeper) runProgramAt(ts core.Timestamp, prog string, params []byte,
 		err := g.ep.Send(transport.ShardAddr(s), wire.ProgStart{
 			QID:         qid,
 			TS:          ts,
+			ReadTS:      readTS,
 			Prog:        prog,
 			Params:      params,
 			Hops:        hops,
@@ -132,9 +151,13 @@ func (g *Gatekeeper) handleProgDelta(m wire.ProgDelta, from transport.Addr) {
 	if s, found := shardIndex(from); found {
 		p.shards[s] = struct{}{}
 	}
-	if m.Err != "" {
+	if m.Err != "" || m.ErrCode != wire.ErrCodeNone {
 		g.mu.Unlock()
-		g.finishProg(m.QID, p, fmt.Errorf("%w: %s", ErrProgFailed, m.Err))
+		base := ErrProgFailed
+		if m.ErrCode == wire.ErrCodeStaleSnapshot {
+			base = ErrStaleSnapshot
+		}
+		g.finishProg(m.QID, p, fmt.Errorf("%w: %s", base, m.Err))
 		return
 	}
 	p.results = append(p.results, m.Results...)

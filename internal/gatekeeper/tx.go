@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"weaver/internal/core"
 	"weaver/internal/graph"
@@ -60,6 +61,10 @@ type CommitResult struct {
 // caller re-runs it from its reads. Errors wrapping ErrInvalid are semantic
 // (e.g. create of an existing vertex) and will not succeed on retry.
 func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, error) {
+	// Admission control BEFORE taking the pause lock (a throttled commit
+	// must not block a migration batch's Pause): if the shards are more
+	// than MaxApplyLag write-sets behind, wait for them to catch up.
+	g.waitApplyLag()
 	g.pause.RLock()
 	defer g.pause.RUnlock()
 	select {
@@ -102,6 +107,42 @@ func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, 
 	g.txConflicts.Add(1)
 	return CommitResult{}, fmt.Errorf("%w: timestamp ordering failed after %d retries: %v",
 		ErrConflict, g.cfg.MaxCommitRetries, lastErr)
+}
+
+// applyLagTimeout bounds how long admission control will hold a commit
+// waiting for shards to catch up; past it the commit proceeds regardless
+// (backpressure is throughput shaping, not a correctness gate — a dead
+// shard is the cluster manager's problem, not the committer's).
+const applyLagTimeout = 2 * time.Second
+
+// waitApplyLag blocks while more than MaxApplyLag forwarded write-sets
+// await shard application. Applies proceed independently of commits, so
+// waiting here cannot deadlock; NOPs and announces keep flowing from
+// their own loops.
+func (g *Gatekeeper) waitApplyLag() {
+	max := int64(g.cfg.MaxApplyLag)
+	if max <= 0 {
+		return
+	}
+	if g.applyPending.Load() <= max {
+		return
+	}
+	deadline := time.Now().Add(applyLagTimeout)
+	wait := 50 * time.Microsecond
+	for g.applyPending.Load() > max {
+		select {
+		case <-g.stop:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(wait)
+		if wait < time.Millisecond {
+			wait *= 2
+		}
+	}
 }
 
 // reservation is one atomically claimed slot in every per-shard FIFO

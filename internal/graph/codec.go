@@ -62,13 +62,20 @@ func DecodeRecord(data []byte) (*VertexRecord, error) {
 	rec.LastTS = d.ts()
 	rec.Props = d.strMap()
 	if n := d.uvarint(); n > 0 {
-		rec.Edges = make(map[EdgeID]EdgeRecord, n)
-		for i := uint64(0); i < n; i++ {
-			eid := EdgeID(d.str())
-			var er EdgeRecord
-			er.To = VertexID(d.str())
-			er.Props = d.strMap()
-			rec.Edges[eid] = er
+		// Bound the allocation hint by what the remaining bytes could
+		// possibly hold (each edge is ≥2 bytes): a corrupt header must
+		// not make us pre-size a map for 2^60 entries.
+		if n > uint64(len(d.buf)) {
+			d.err = errTruncatedRecord
+		} else {
+			rec.Edges = make(map[EdgeID]EdgeRecord, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				eid := EdgeID(d.str())
+				var er EdgeRecord
+				er.To = VertexID(d.str())
+				er.Props = d.strMap()
+				rec.Edges[eid] = er
+			}
 		}
 	}
 	if d.err != nil {

@@ -384,6 +384,49 @@ func (s *Store) Remove(v VertexID) bool {
 	return ok
 }
 
+// History is an opaque handle to one vertex's full resident version chain,
+// produced by Detach and consumed by Attach. It lets vertex migration move
+// the complete multi-version history between shard stores — so historical
+// reads of a migrated vertex keep answering at its new home — without
+// exposing the chain representation.
+type History struct {
+	id VertexID
+	ch *chain
+}
+
+// ID returns the vertex the history belongs to.
+func (h History) ID() VertexID { return h.id }
+
+// Detach removes the vertex's entire resident version chain from the store
+// and returns it for installation elsewhere (Attach). Ownership transfers
+// with the handle: nothing is copied, so the caller must guarantee — as
+// with Remove — that no transaction is applying and no node program is
+// reading on either store (migration runs behind the gatekeeper pause with
+// applies quiesced and programs drained). Returns ok=false if the vertex
+// has no resident versions (e.g. paged out).
+func (s *Store) Detach(v VertexID) (History, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.vertices[v]
+	if ch == nil {
+		return History{}, false
+	}
+	delete(s.vertices, v)
+	return History{id: v, ch: ch}, true
+}
+
+// Attach installs a version chain detached from another store, replacing
+// any resident versions of the vertex. The same quiescence contract as
+// Detach applies.
+func (s *Store) Attach(h History) {
+	if h.ch == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vertices[h.id] = h.ch
+}
+
 // Has reports whether any version of the vertex is resident.
 func (s *Store) Has(id VertexID) bool {
 	s.mu.RLock()

@@ -144,8 +144,20 @@ func (d *DAG) reachable(src core.ID, dstID core.ID, dstTS core.Timestamp) bool {
 			if sn == nil {
 				continue
 			}
-			if sn.ts.Compare(dstTS) == core.Before {
+			switch sn.ts.Compare(dstTS) {
+			case core.Before:
 				return true
+			case core.After:
+				// Sound prune: every edge (explicit or implicit) agrees
+				// with the refined total order, which extends vclock
+				// order, and the combined relation is acyclic — so a
+				// node vclock-after dst can never lie on a path to dst
+				// (the implicit dst→node edge would close a cycle).
+				// This keeps searches local to dst's concurrency
+				// window instead of scanning the whole DAG — decisive
+				// when pinned snapshots hold GC and the DAG grows with
+				// every commit.
+				continue
 			}
 			if _, seen := visited[sid]; !seen {
 				visited[sid] = struct{}{}
@@ -157,7 +169,8 @@ func (d *DAG) reachable(src core.ID, dstID core.ID, dstTS core.Timestamp) bool {
 		// out-edges (the edged index; implicit hops to edge-less nodes
 		// are redundant: either such a y is terminal, which the vclock
 		// terminal check above already covers through transitivity, or
-		// the path dead ends there).
+		// the path dead ends there). Nodes vclock-after dst are pruned
+		// for the same acyclicity reason as above.
 		for yid, yn := range d.edged {
 			if yid == xid || len(yn.out) == 0 {
 				continue
@@ -165,7 +178,7 @@ func (d *DAG) reachable(src core.ID, dstID core.ID, dstTS core.Timestamp) bool {
 			if _, seen := visited[yid]; seen {
 				continue
 			}
-			if x.ts.Compare(yn.ts) == core.Before {
+			if x.ts.Compare(yn.ts) == core.Before && yn.ts.Compare(dstTS) != core.After {
 				if yid == dstID || yn.ts.Compare(dstTS) == core.Before {
 					return true
 				}

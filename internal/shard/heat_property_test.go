@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"weaver/internal/graph"
+	"weaver/internal/workload"
+)
+
+// TestHeatProperties drives the heat table with a randomized workload and
+// checks its invariants after every step:
+//
+//   - decay is monotone: no score increases, no vertex (re)appears;
+//   - HeatTopK is consistent with the raw table: sorted hottest-first with
+//     deterministic ID tie-breaks, and exactly the k best entries;
+//   - the size cap is never exceeded after any operation.
+func TestHeatProperties(t *testing.T) {
+	seed := workload.TestSeed(t)
+	r := rand.New(rand.NewSource(seed))
+	h := newHeatMap()
+	vid := func(i int) graph.VertexID { return graph.VertexID(fmt.Sprintf("v%d", i)) }
+
+	snapshot := func() map[graph.VertexID]float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		out := make(map[graph.VertexID]float64, len(h.m))
+		for v, w := range h.m {
+			out[v] = w
+		}
+		return out
+	}
+	size := func() int {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return len(h.m)
+	}
+	checkCap := func(step string) {
+		t.Helper()
+		if n := size(); n > heatMaxEntries {
+			t.Fatalf("%s: table holds %d entries, cap %d", step, n, heatMaxEntries)
+		}
+	}
+	checkTopK := func(step string) {
+		t.Helper()
+		raw := snapshot()
+		for _, k := range []int{0, 1, 3, len(raw), len(raw) + 10} {
+			top := h.topK(k, 7)
+			wantLen := len(raw)
+			if k > 0 && k < wantLen {
+				wantLen = k
+			}
+			if len(top) != wantLen {
+				t.Fatalf("%s: topK(%d) returned %d of %d", step, k, len(top), len(raw))
+			}
+			for i, vh := range top {
+				if vh.Shard != 7 {
+					t.Fatalf("%s: topK entry carries shard %d", step, vh.Shard)
+				}
+				if vh.Heat != raw[vh.Vertex] {
+					t.Fatalf("%s: topK reports %q=%g, raw table says %g", step, vh.Vertex, vh.Heat, raw[vh.Vertex])
+				}
+				if i > 0 {
+					prev := top[i-1]
+					if prev.Heat < vh.Heat || (prev.Heat == vh.Heat && prev.Vertex >= vh.Vertex) {
+						t.Fatalf("%s: topK not sorted at %d: %+v before %+v", step, i, prev, vh)
+					}
+				}
+			}
+			// Every excluded vertex must be no hotter than the coldest
+			// included one (with the ID tie-break).
+			if k > 0 && len(top) == k && k < len(raw) {
+				cold := top[len(top)-1]
+				in := make(map[graph.VertexID]bool, len(top))
+				for _, vh := range top {
+					in[vh.Vertex] = true
+				}
+				for v, w := range raw {
+					if in[v] {
+						continue
+					}
+					if w > cold.Heat || (w == cold.Heat && v < cold.Vertex) {
+						t.Fatalf("%s: topK(%d) excluded %q=%g but included %q=%g", step, k, v, w, cold.Vertex, cold.Heat)
+					}
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		switch r.Intn(4) {
+		case 0: // transactional writes
+			ops := make([]graph.Op, 1+r.Intn(8))
+			for i := range ops {
+				ops[i] = graph.Op{Kind: graph.OpSetVertexProp, Vertex: vid(r.Intn(500))}
+			}
+			h.addOps(ops)
+		case 1: // program-visit credits
+			credits := make(map[graph.VertexID]float64)
+			for i := 0; i < 1+r.Intn(8); i++ {
+				credits[vid(r.Intn(500))] += heatVisit + float64(r.Intn(2))*heatRemoteHop
+			}
+			h.addMany(credits)
+		case 2: // decay: monotone, no resurrections
+			before := snapshot()
+			factor := 0.1 + 0.8*r.Float64()
+			h.decay(factor)
+			after := snapshot()
+			for v, w := range after {
+				bw, existed := before[v]
+				if !existed {
+					t.Fatalf("step %d: decay resurrected %q", step, v)
+				}
+				if w > bw+1e-9 {
+					t.Fatalf("step %d: decay increased %q: %g -> %g", step, v, bw, w)
+				}
+				if math.Abs(w-bw*factor) > 1e-9 {
+					t.Fatalf("step %d: decay of %q not multiplicative: %g*%g != %g", step, v, bw, factor, w)
+				}
+			}
+			for v, bw := range before {
+				if _, kept := after[v]; !kept && bw*factor >= heatFloor {
+					t.Fatalf("step %d: decay dropped %q at %g (floor %g)", step, v, bw*factor, heatFloor)
+				}
+			}
+		case 3: // forget
+			h.forget(vid(r.Intn(500)))
+		}
+		checkCap(fmt.Sprintf("step %d", step))
+		if step%25 == 0 {
+			checkTopK(fmt.Sprintf("step %d", step))
+		}
+	}
+	checkTopK("final")
+}
+
+// TestHeatCapUnderChurn floods the table with far more distinct vertices
+// than the cap and checks the bound holds after every batch — the
+// regression the cap exists for (clusters that track heat but never run a
+// rebalancer to decay it).
+func TestHeatCapUnderChurn(t *testing.T) {
+	h := newHeatMap()
+	total := heatMaxEntries*2 + 1000
+	batch := make([]graph.Op, 256)
+	for lo := 0; lo < total; lo += len(batch) {
+		for i := range batch {
+			batch[i] = graph.Op{Kind: graph.OpCreateEdge, Vertex: graph.VertexID(fmt.Sprintf("churn%d", lo+i))}
+		}
+		h.addOps(batch)
+		h.mu.Lock()
+		n := len(h.m)
+		h.mu.Unlock()
+		if n > heatMaxEntries {
+			t.Fatalf("after %d inserts: %d entries, cap %d", lo+len(batch), n, heatMaxEntries)
+		}
+	}
+	// Survivors must still rank correctly.
+	top := h.topK(10, 0)
+	if len(top) != 10 {
+		t.Fatalf("topK after churn: %d entries", len(top))
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"weaver/internal/core"
 	"weaver/internal/graph"
 	"weaver/internal/nodeprog"
-	"weaver/internal/oracle"
 	"weaver/internal/transport"
 	"weaver/internal/wire"
 )
@@ -25,13 +24,50 @@ func (s *Shard) runReadyProgs() {
 		if _, gone := s.finished[b.qid]; gone {
 			continue // late hops for a closed query
 		}
-		if !s.progReady(b.ts) {
+		// Readiness is judged at the READ timestamp: a historical query
+		// only needs everything at or before its snapshot applied, so it
+		// never waits behind traffic newer than what it reads.
+		if !s.progReady(b.readTS) {
 			remaining = append(remaining, b)
+			continue
+		}
+		if s.snapshotStale(b.readTS) {
+			// The snapshot fell behind the GC watermark: versions it
+			// would need may be collected. Refuse with a typed code —
+			// never wrong data. Checked batch-by-batch on the event
+			// loop, which also runs GC, so a batch that passes reads
+			// strictly pre-collection state.
+			s.ep.Send(b.coordinator, wire.ProgDelta{
+				QID:     b.qid,
+				ErrCode: wire.ErrCodeStaleSnapshot,
+				Err: fmt.Sprintf("shard %d: read timestamp %v behind GC watermark %v",
+					s.cfg.ID, b.readTS, s.gcWM),
+			})
+			delete(s.progState, b.qid)
 			continue
 		}
 		s.runBatch(b)
 	}
 	s.pending = remaining
+}
+
+// snapshotStale reports whether a read at ts can no longer be answered
+// exactly: the GC watermark has passed it, so versions whose lifetime
+// ended between ts and the watermark — exactly the ones ts should still
+// see — may be collected. Reads at or after the watermark are always
+// exact; ordinary (fresh-timestamp) programs can never be stale because
+// their coordinator holds its gatekeeper's watermark report below them
+// while they run.
+func (s *Shard) snapshotStale(ts core.Timestamp) bool {
+	if s.gcWM.Zero() {
+		return false // no collection has happened; all history resident
+	}
+	// Pointwise, not happens-before: the watermark is a PointwiseMin
+	// combination whose owner is arbitrary, so it is often Concurrent
+	// with timestamps it is componentwise-equal or -below. Every
+	// collected version ended strictly vector-below the watermark, hence
+	// is invisible to any reader the watermark is pointwise-≤.
+	return !s.gcWM.PointwiseLE(ts)
 }
 
 // progReady reports whether every transaction this shard could still
@@ -54,13 +90,23 @@ func (s *Shard) progReady(ts core.Timestamp) bool {
 }
 
 // visible builds the snapshot predicate for a node program at ts: a version
-// written at w is visible iff w happened before ts, refining concurrent
-// pairs through the timeline oracle with the write-before-read preference
-// (§4.1: for fresh pairs "the oracle will prefer arrival order … always
-// ordering node programs after transactions"), so programs never miss
-// updates from transactions that committed before they ran.
+// written at w is visible iff w happened before ts, resolving concurrent
+// pairs with the write-before-read preference (§4.1: for fresh pairs "the
+// oracle will prefer arrival order … always ordering node programs after
+// transactions"), so programs never miss updates from transactions that
+// committed before they ran.
+//
+// The concurrent case needs no oracle round trip: read events never
+// acquire out-edges in the dependency DAG — nothing in the protocol ever
+// orders a transaction AFTER a node program (AssignOrder and head-ordering
+// queries only ever relate transactions; programs appear only as the
+// second argument of a Before-preferring query) — so the oracle's answer
+// for (write, program) is deterministically Before. Short-circuiting it
+// locally keeps every shard off the oracle mutex on the read path, which
+// is what lets historical readers at pinned snapshots run without
+// degrading write throughput (the DAG grows while a pin is held, and
+// serializing reads on it would convoy the whole cluster).
 func (s *Shard) visible(progTS core.Timestamp) graph.Before {
-	progEv := oracle.EventOf(progTS)
 	return func(w core.Timestamp) bool {
 		switch w.Compare(progTS) {
 		case core.Before:
@@ -68,19 +114,8 @@ func (s *Shard) visible(progTS core.Timestamp) graph.Before {
 		case core.After, core.Equal:
 			return false
 		}
-		key := [2]core.ID{w.ID(), progEv.ID}
-		if o, ok := s.orderCache[key]; ok {
-			s.cacheHits.Add(1)
-			return o == core.Before
-		}
 		s.readRefines.Add(1)
-		o, err := s.orc.QueryOrder(oracle.EventOf(w), progEv, core.Before)
-		if err != nil {
-			return false // unreachable oracle: hide the version
-		}
-		s.orderCache[key] = o
-		s.orderCache[[2]core.ID{progEv.ID, key[0]}] = o.Invert()
-		return o == core.Before
+		return true
 	}
 }
 
@@ -88,7 +123,7 @@ func (s *Shard) visible(progTS core.Timestamp) graph.Before {
 // remote hops, and reports the delta to the coordinator.
 func (s *Shard) runBatch(b *hopBatch) {
 	s.progBatches.Add(1)
-	view := s.g.At(s.visible(b.ts))
+	view := s.g.At(s.visible(b.readTS))
 
 	states := s.progState[b.qid]
 	if states == nil {
@@ -150,7 +185,7 @@ func (s *Shard) runBatch(b *hopBatch) {
 		}
 		ctx := &nodeprog.Context{
 			Query:    b.qid,
-			TS:       b.ts,
+			TS:       b.readTS,
 			VertexID: hop.Vertex,
 			Vertex:   vv,
 			State:    states[hop.Vertex],
@@ -194,6 +229,7 @@ func (s *Shard) runBatch(b *hopBatch) {
 		s.ep.Send(transport.ShardAddr(tgt), wire.ProgHops{
 			QID:         b.qid,
 			TS:          b.ts,
+			ReadTS:      b.readTS,
 			Coordinator: b.coordinator,
 			Hops:        hops,
 		})

@@ -100,7 +100,7 @@ type Stats struct {
 	ProgVisits     uint64
 	ProgBatches    uint64
 	OrderQueries   uint64 // oracle consultations for head ordering
-	ReadRefines    uint64 // oracle consultations for version visibility
+	ReadRefines    uint64 // concurrent-pair visibility decisions (write-before-read rule)
 	CacheHits      uint64 // ordering answers served from the local cache
 	GCCollected    uint64
 	VersionsLive   uint64
@@ -116,6 +116,7 @@ type queued struct {
 type hopBatch struct {
 	qid         core.ID
 	ts          core.Timestamp
+	readTS      core.Timestamp // snapshot the program reads at (== ts unless historical)
 	coordinator transport.Addr
 	hops        []wire.Hop
 }
@@ -139,11 +140,15 @@ type Shard struct {
 	finishedQ  []core.ID // FIFO for bounding the finished set
 	orderCache map[[2]core.ID]core.Order
 	gcReports  map[int]core.Timestamp
-	pager      Pager
-	pool       *workerPool
-	heat       *heatMap
-	pagedIn    atomic.Uint64
-	pagedOut   atomic.Uint64
+	// gcWM is the watermark of the most recent version collection: every
+	// version whose lifetime ended strictly before it is gone. Historical
+	// reads are answered only at or above it (§4.5). Event-loop owned.
+	gcWM     core.Timestamp
+	pager    Pager
+	pool     *workerPool
+	heat     *heatMap
+	pagedIn  atomic.Uint64
+	pagedOut atomic.Uint64
 
 	hopSeq atomic.Uint64
 
@@ -440,9 +445,9 @@ func (s *Shard) handle(msg transport.Message) {
 		s.nopsSeen.Add(1)
 		s.ingest(m.TS, m.Seq, nil)
 	case wire.ProgStart:
-		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, coordinator: m.Coordinator, hops: m.Hops})
+		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, readTS: readOrTS(m.ReadTS, m.TS), coordinator: m.Coordinator, hops: m.Hops})
 	case wire.ProgHops:
-		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, coordinator: m.Coordinator, hops: m.Hops})
+		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, readTS: readOrTS(m.ReadTS, m.TS), coordinator: m.Coordinator, hops: m.Hops})
 	case wire.ProgFinish:
 		delete(s.progState, m.QID)
 		if _, seen := s.finished[m.QID]; !seen {
@@ -462,6 +467,40 @@ func (s *Shard) handle(msg transport.Message) {
 			s.maybeGC()
 		}
 	}
+}
+
+// appliedBound returns a timestamp pointwise at-or-below every transaction
+// this shard has received or will receive but not yet applied: per
+// gatekeeper, the queue head if one is waiting, else the frontier (the
+// stream is timestamp-monotone, so everything not yet delivered from that
+// gatekeeper is strictly after its frontier). Zero while any frontier is
+// still unestablished (startup).
+func (s *Shard) appliedBound() core.Timestamp {
+	var bound core.Timestamp
+	for gk := range s.queues {
+		ts := s.frontier[gk]
+		if len(s.queues[gk]) > 0 {
+			ts = s.queues[gk][0].ts
+		}
+		if ts.Zero() {
+			return core.Timestamp{}
+		}
+		if bound.Zero() {
+			bound = ts
+		} else {
+			bound = core.PointwiseMin(bound, ts)
+		}
+	}
+	return bound
+}
+
+// readOrTS resolves a message's read timestamp: zero means "read at the
+// query's own timestamp" (senders predating the ReadTS field).
+func readOrTS(readTS, ts core.Timestamp) core.Timestamp {
+	if readTS.Zero() {
+		return ts
+	}
+	return readTS
 }
 
 // ingest pushes one in-order stream item through the resequencer; NOPs
@@ -629,19 +668,41 @@ func (s *Shard) maybeGC() {
 	if len(s.gcReports) < s.cfg.NumGatekeepers {
 		return
 	}
+	// One full round of gatekeeper reports is also the shard's cue to
+	// report its apply progress for the ORACLE watermark: the dependency
+	// DAG must not forget orders of transactions still queued here (see
+	// wire.ShardGCReport).
+	s.ep.Send(transport.GatekeeperAddr(0), wire.ShardGCReport{Shard: s.cfg.ID, TS: s.appliedBound()})
 	all := make([]core.Timestamp, 0, len(s.gcReports))
+	zero := false
 	for _, ts := range s.gcReports {
+		zero = zero || ts.Zero()
 		all = append(all, ts)
 	}
 	s.gcReports = make(map[int]core.Timestamp)
+	if zero {
+		// A zero report means that gatekeeper is holding everything
+		// (HistoryRetention window not yet aged): collect nothing and
+		// leave the watermark where it was.
+		return
+	}
 	wm := core.PointwiseMin(all...)
-	n := s.g.CollectBefore(wm)
+	// The watermark only ratchets forward: per-gatekeeper reports are
+	// monotone, but the staleness gate must never loosen even if a
+	// combination of reports momentarily computes lower. Collection uses
+	// the SAME ratcheted value as the gate — collecting at a fresher wm
+	// than the gate checks would let a read pass the gate and then miss
+	// just-collected versions (wrong data instead of ErrStaleSnapshot).
+	if s.gcWM.Zero() || s.gcWM.Compare(wm) == core.Before {
+		s.gcWM = wm
+	}
+	n := s.g.CollectBefore(s.gcWM)
 	s.gcCollected.Add(uint64(n))
 	// Demand paging, eviction half (§6.1): shed cold vertices above the
 	// memory cap; they page back in from the backing store on access.
 	if s.cfg.MaxVertices > 0 && s.pager != nil {
 		if over := s.g.NumVertices() - s.cfg.MaxVertices; over > 0 {
-			evicted := s.g.EvictBefore(wm, over)
+			evicted := s.g.EvictBefore(s.gcWM, over)
 			s.pagedOut.Add(uint64(len(evicted)))
 		}
 	}

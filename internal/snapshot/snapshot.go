@@ -150,6 +150,32 @@ func (sw *Writer) Close() error {
 // corrupt headers before allocating.
 const maxEntryLen = 1 << 30
 
+// readEntryBody reads exactly size bytes, growing the buffer in bounded
+// chunks as data actually arrives: a corrupt header claiming a
+// gigabyte-sized entry on a short stream must fail with a read error, not
+// allocate the full claim up front (found by FuzzReadSegment).
+func readEntryBody(r io.Reader, size int) ([]byte, error) {
+	const chunk = 1 << 16
+	if size <= chunk {
+		buf := make([]byte, size)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < size {
+		step := size - len(buf)
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
 // ReadSegment streams every entry of one segment to fn, then validates the
 // footer. Any framing damage — bad magic, truncated entry, missing footer,
 // checksum or count mismatch — returns an error wrapping ErrCorrupt.
@@ -194,8 +220,8 @@ func ReadSegment(r io.Reader, fn func(Entry) error) (count uint64, err error) {
 		if keyLen > maxEntryLen || valLen > maxEntryLen {
 			return n, fmt.Errorf("%w: implausible entry lengths %d/%d", ErrCorrupt, keyLen, valLen)
 		}
-		buf := make([]byte, int(keyLen)+int(valLen))
-		if _, err := io.ReadFull(br, buf); err != nil {
+		buf, err := readEntryBody(br, int(keyLen)+int(valLen))
+		if err != nil {
 			return n, fmt.Errorf("%w: torn entry body: %v", ErrCorrupt, err)
 		}
 		crc.Write([]byte{flags})

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+
+	"weaver/internal/workload"
+)
+
+// TestResequencerProperty drives the resequencer with randomized
+// adversarial delivery — reordering, duplication, and transient gaps — and
+// checks the FIFO contract: every sequence number is delivered exactly
+// once, in order, and delivery never stalls once the gap-filling item has
+// arrived (no deadlock: after all sends, everything pops).
+func TestResequencerProperty(t *testing.T) {
+	seed := workload.TestSeed(t)
+	for round := 0; round < 200; round++ {
+		r := rand.New(rand.NewSource(seed + int64(round)))
+		n := 1 + r.Intn(200)
+
+		// Build an adversarial delivery schedule: every seq 1..n at least
+		// once, shuffled, with random duplicates injected.
+		sched := make([]uint64, 0, n*2)
+		for s := 1; s <= n; s++ {
+			sched = append(sched, uint64(s))
+		}
+		for d := r.Intn(n); d > 0; d-- {
+			sched = append(sched, uint64(1+r.Intn(n)))
+		}
+		r.Shuffle(len(sched), func(i, j int) { sched[i], sched[j] = sched[j], sched[i] })
+
+		rs := NewResequencer[uint64]()
+		var delivered []uint64
+		popAll := func() {
+			for {
+				v, ok := rs.Pop()
+				if !ok {
+					return
+				}
+				delivered = append(delivered, v)
+			}
+		}
+		for i, s := range sched {
+			rs.Push(s, s)
+			// Pop opportunistically at random points (interleaved
+			// delivery), and always at the end.
+			if r.Intn(3) == 0 || i == len(sched)-1 {
+				popAll()
+			}
+		}
+		popAll()
+
+		// Exactly once, in order, nothing left behind.
+		if len(delivered) != n {
+			t.Fatalf("round %d: delivered %d of %d items", round, len(delivered), n)
+		}
+		for i, v := range delivered {
+			if v != uint64(i+1) {
+				t.Fatalf("round %d: position %d delivered seq %d", round, i, v)
+			}
+		}
+		if rs.Pending() != 0 {
+			t.Fatalf("round %d: %d items stuck in the reorder buffer", round, rs.Pending())
+		}
+
+		// Stale retransmissions after delivery must be dropped, not
+		// redelivered (exactly-once under late duplicates).
+		for d := 0; d < 5; d++ {
+			rs.Push(uint64(1+r.Intn(n)), 0)
+		}
+		if v, ok := rs.Pop(); ok {
+			t.Fatalf("round %d: stale duplicate redelivered (%d)", round, v)
+		}
+	}
+}
+
+// TestResequencerGapStalls checks the other half of the FIFO contract:
+// while the gap item is missing, nothing beyond it may pop (delivery would
+// violate order), and arrival of the gap releases the whole buffered run.
+func TestResequencerGapStalls(t *testing.T) {
+	seed := workload.TestSeed(t)
+	r := rand.New(rand.NewSource(seed))
+	for round := 0; round < 100; round++ {
+		n := 2 + r.Intn(100)
+		gap := uint64(1 + r.Intn(n)) // withhold this seq
+		rs := NewResequencer[uint64]()
+		for s := uint64(1); s <= uint64(n); s++ {
+			if s != gap {
+				rs.Push(s, s)
+			}
+		}
+		var got []uint64
+		for {
+			v, ok := rs.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if uint64(len(got)) != gap-1 {
+			t.Fatalf("round %d: gap at %d but %d items popped", round, gap, len(got))
+		}
+		if rs.Pending() != n-int(gap) {
+			t.Fatalf("round %d: pending %d, want %d buffered beyond the gap", round, rs.Pending(), n-int(gap))
+		}
+		rs.Push(gap, gap)
+		for {
+			v, ok := rs.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(got) != n {
+			t.Fatalf("round %d: filling the gap released %d of %d", round, len(got), n)
+		}
+		for i, v := range got {
+			if v != uint64(i+1) {
+				t.Fatalf("round %d: out of order at %d: %d", round, i, v)
+			}
+		}
+	}
+}

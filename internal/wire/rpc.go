@@ -92,6 +92,7 @@ func RegisterGob() {
 	gob.Register(ProgDelta{})
 	gob.Register(ProgFinish{})
 	gob.Register(GCReport{})
+	gob.Register(ShardGCReport{})
 	gob.Register(EpochChange{})
 	gob.Register(EpochAck{})
 	gob.Register(Heartbeat{})

@@ -49,9 +49,18 @@ type Announce struct {
 // ProgStart launches a node program's initial hops on one shard. The
 // gatekeeper that stamped the program acts as coordinator for termination
 // detection and result collection.
+//
+// TS is the query's own fresh timestamp — its identity (QID) and its
+// position in the shard ordering protocol. ReadTS is the timestamp the
+// program READS at: equal to TS for ordinary programs, or a pinned past
+// timestamp for historical (time-travel) queries (§4.5). Shards build the
+// snapshot visibility predicate from ReadTS and reject it with
+// ErrCodeStaleSnapshot when it has fallen behind the GC watermark. A zero
+// ReadTS means "read at TS" (back-compat for senders predating the field).
 type ProgStart struct {
 	QID         core.ID
 	TS          core.Timestamp
+	ReadTS      core.Timestamp
 	Prog        string
 	Params      []byte
 	Hops        []Hop
@@ -59,10 +68,12 @@ type ProgStart struct {
 }
 
 // ProgHops carries propagation hops from one shard to another: the scatter
-// phase of the node program model (§2.3).
+// phase of the node program model (§2.3). ReadTS propagates the query's
+// read timestamp (see ProgStart) so every shard reads the same snapshot.
 type ProgHops struct {
 	QID         core.ID
 	TS          core.Timestamp
+	ReadTS      core.Timestamp
 	Coordinator transport.Addr
 	Hops        []Hop
 }
@@ -87,6 +98,20 @@ type Hop struct {
 	Origin  int
 }
 
+// Program error codes carried by ProgDelta.ErrCode, letting the
+// coordinator surface typed errors across the wire (error strings alone
+// cannot round-trip errors.Is).
+const (
+	// ErrCodeNone means Err (if non-empty) is an untyped program failure.
+	ErrCodeNone = 0
+	// ErrCodeStaleSnapshot means the query's read timestamp has fallen
+	// behind the shard's GC watermark: the versions it would need may
+	// already be collected, so the shard refuses to answer rather than
+	// return wrong data (§4.5). Pin the snapshot or widen
+	// HistoryRetention to keep reads this old alive.
+	ErrCodeStaleSnapshot = 1
+)
+
 // ProgDelta reports execution progress from a shard to the coordinator:
 // ConsumedIDs are the hops executed locally (with their whole local
 // cascade), SpawnedIDs are new hops forwarded to other shards, Results
@@ -97,6 +122,7 @@ type ProgDelta struct {
 	SpawnedIDs  []uint64
 	Results     [][]byte
 	Err         string
+	ErrCode     int
 }
 
 // ProgFinish tells shards the query terminated; per-vertex program state is
@@ -105,13 +131,37 @@ type ProgFinish struct {
 	QID core.ID
 }
 
-// GCReport broadcasts a gatekeeper's garbage-collection watermark: a
-// timestamp known to happen-before every operation still in progress at
-// that gatekeeper (§4.5). Shards collect reports from all gatekeepers and
-// prune versions older than the pointwise minimum.
+// GCReport broadcasts a gatekeeper's garbage-collection watermarks (§4.5).
+// TS is the VERSION watermark: a timestamp known to happen-before every
+// operation still in progress at that gatekeeper, held back further by
+// pinned snapshots and the HistoryRetention window; shards collect reports
+// from all gatekeepers and prune graph versions older than the pointwise
+// minimum. A zero TS means "collect nothing" (retention window not aged).
+// OracleTS is the ORACLE watermark — clock and in-flight operations only,
+// NOT held by pins or retention: the dependency DAG must stay small under
+// long-lived snapshots, and it safely can, because reads resolve
+// visibility without the oracle (see shard visibility) — only
+// transaction-transaction orders live in the DAG, and those are queried
+// only while the transactions are in flight.
 type GCReport struct {
-	GK int
-	TS core.Timestamp
+	GK       int
+	TS       core.Timestamp
+	OracleTS core.Timestamp
+}
+
+// ShardGCReport is the shard half of the oracle GC handshake: TS is a
+// timestamp pointwise at-or-below every transaction this shard has
+// received or will receive but not yet applied (per-gatekeeper queue heads
+// and frontiers, combined by pointwise minimum). Gatekeeper 0 folds these
+// into the oracle watermark, so the dependency DAG never forgets the order
+// of a transaction that some shard still has to execute — a
+// committed-but-unapplied transaction is an ongoing operation in the §4.5
+// sense, and pruning its ordering state would let shards disagree about
+// queue-head order and wedge the apply pipeline. Zero TS means "hold
+// everything" (a frontier not yet established).
+type ShardGCReport struct {
+	Shard int
+	TS    core.Timestamp
 }
 
 // EpochChange orders a server into a new epoch during reconfiguration

@@ -19,9 +19,13 @@ package weaver
 //     that should change. RebalanceStats (in Cluster.Stats) reports moves,
 //     batch sizes, and a pause-time histogram.
 //
-// Like shard recovery, migration truncates a vertex's in-memory version
-// history to its last committed state: historical reads of the vertex below
-// the migration point are not served by the new home.
+// Unlike shard recovery, migration does NOT truncate a vertex's in-memory
+// version history: the full resident chain is detached from the source
+// store and attached at the target (graph.History), so historical reads —
+// node programs pinned at a past timestamp — keep answering correctly for
+// migrated vertices. Only when the source has no resident chain (the
+// vertex was paged out) does the target fall back to installing the last
+// committed record, visible wholesale at its last-update timestamp.
 
 import (
 	"errors"
@@ -267,20 +271,24 @@ func (c *Cluster) MigrateBatch(moves []Move) (int, error) {
 		return 0, fmt.Errorf("weaver: migrate batch commit: %w", err)
 	}
 
-	// Commit succeeded: install on targets (batched per shard), evict the
-	// source copies, repoint the directory. Gatekeepers are paused and
+	// Commit succeeded: move each vertex's full multi-version history from
+	// source to target (so historical reads keep working at the new home),
+	// evict source heat, repoint the directory. Gatekeepers are paused and
 	// applies drained, so nothing reads or writes these vertices here.
+	// Vertices with no resident chain (paged out) fall back to a record
+	// install, exactly as recovery would load them.
 	perTarget := make(map[int][]*graph.VertexRecord)
 	for _, st := range stage {
-		perTarget[st.rec.Shard] = append(perTarget[st.rec.Shard], st.rec)
+		if hist, resident := shards[st.source].Graph().Detach(st.rec.ID); resident {
+			shards[st.rec.Shard].Graph().Attach(hist)
+		} else {
+			perTarget[st.rec.Shard] = append(perTarget[st.rec.Shard], st.rec)
+		}
+		shards[st.source].ForgetHeat(st.rec.ID)
+		mapped.Assign(st.rec.ID, st.rec.Shard)
 	}
 	for target, recs := range perTarget {
 		shards[target].Install(recs)
-	}
-	for _, st := range stage {
-		shards[st.source].Graph().Remove(st.rec.ID)
-		shards[st.source].ForgetHeat(st.rec.ID)
-		mapped.Assign(st.rec.ID, st.rec.Shard)
 	}
 
 	c.recordMoves(len(stage), skipped)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"weaver"
+	"weaver/internal/workload"
 )
 
 type stressTx struct {
@@ -60,8 +61,10 @@ func runSerializabilityStress(t *testing.T, shardWorkers int) {
 // concurrent readers, ...) until stop closes; failures go to errCh. The
 // workload waits for ready() before starting — chaos calls it once its
 // disruption is demonstrably under way, so a starved goroutine on a loaded
-// single-core runner cannot reduce the test to a chaos-free run.
-type chaosFn func(c *weaver.Cluster, regs []weaver.VertexID, ready func(), stop <-chan struct{}, errCh chan<- error)
+// single-core runner cannot reduce the test to a chaos-free run. seed is
+// the suite seed (workload.TestSeed): all chaos randomness must derive
+// from it so a failure replays exactly.
+type chaosFn func(c *weaver.Cluster, regs []weaver.VertexID, seed int64, ready func(), stop <-chan struct{}, errCh chan<- error)
 
 func runStressAndVerify(t *testing.T, cfg weaver.Config, chaos chaosFn) {
 	t.Helper()
@@ -73,6 +76,10 @@ func runStressAndVerify(t *testing.T, cfg weaver.Config, chaos chaosFn) {
 	if testing.Short() {
 		txPerClient = 30
 	}
+	// One suite seed drives every source of randomness below (per-client
+	// generators, chaos goroutines); WEAVER_TEST_SEED replays a failure
+	// exactly.
+	seed := workload.TestSeed(t)
 
 	c, err := weaver.Open(cfg)
 	if err != nil {
@@ -111,7 +118,7 @@ func runStressAndVerify(t *testing.T, cfg weaver.Config, chaos chaosFn) {
 		ready := func() { readyOnce.Do(func() { close(chaosReady) }) }
 		go func() {
 			defer close(chaosDone)
-			chaos(c, regs, ready, chaosStop, chaosErr)
+			chaos(c, regs, seed, ready, chaosStop, chaosErr)
 		}()
 		select {
 		case <-chaosReady:
@@ -124,10 +131,13 @@ func runStressAndVerify(t *testing.T, cfg weaver.Config, chaos chaosFn) {
 	errCh := make(chan error, clients)
 	for cl := 0; cl < clients; cl++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(cl int) {
 			defer wg.Done()
 			client := c.Client()
-			r := rand.New(rand.NewSource(seed))
+			// Each goroutine derives its own generator from the suite
+			// seed: sharing one rand.Rand across goroutines would make
+			// interleavings (and thus replays) nondeterministic.
+			r := rand.New(rand.NewSource(seed + int64(cl+1)))
 			for op := 0; op < txPerClient; op++ {
 				vs := []weaver.VertexID{reg(r.Intn(registers))}
 				if r.Intn(2) == 0 {
@@ -143,7 +153,7 @@ func runStressAndVerify(t *testing.T, cfg weaver.Config, chaos chaosFn) {
 				var reads map[weaver.VertexID]int
 				for attempt := 0; ; attempt++ {
 					if attempt > 400 {
-						errCh <- fmt.Errorf("client %d: tx starved after %d attempts", seed, attempt)
+						errCh <- fmt.Errorf("client %d: tx starved after %d attempts", cl, attempt)
 						return
 					}
 					tx := client.Begin()
@@ -178,7 +188,7 @@ func runStressAndVerify(t *testing.T, cfg weaver.Config, chaos chaosFn) {
 				nextID++
 				mu.Unlock()
 			}
-		}(int64(cl + 1))
+		}(cl)
 	}
 	wg.Wait()
 	close(chaosStop)
@@ -336,7 +346,7 @@ func TestStrictSerializabilityUnderMigration(t *testing.T) {
 		Directory:      weaver.NewMappedDirectory(3),
 	}
 	shards := cfg.Shards
-	runStressAndVerify(t, cfg, func(c *weaver.Cluster, regs []weaver.VertexID, ready func(), stop <-chan struct{}, errCh chan<- error) {
+	runStressAndVerify(t, cfg, func(c *weaver.Cluster, regs []weaver.VertexID, seed int64, ready func(), stop <-chan struct{}, errCh chan<- error) {
 		var wg sync.WaitGroup
 		// Migrator: rotate a sliding window of registers to the next
 		// shard, one batched pause per window. The workload starts only
@@ -379,7 +389,7 @@ func TestStrictSerializabilityUnderMigration(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			cl := c.Client()
-			r := rand.New(rand.NewSource(99))
+			r := rand.New(rand.NewSource(seed ^ 0x7265616465723939)) // distinct stream for the reader
 			for i := 0; ; i++ {
 				select {
 				case <-stop:

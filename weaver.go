@@ -69,10 +69,22 @@
 // Shards track per-vertex heat (writes, node-program visits, cross-shard
 // hops, decayed over time; Cluster.Heat). Cluster.MigrateBatch re-homes any
 // number of vertices under one gatekeeper pause — commit the re-homed
-// records in one backing-store transaction, install on the targets, evict
-// the source copies, repoint the directory — and a background rebalancer
-// (Config.RebalanceInterval) feeds hot vertices through the LDG streaming
-// partitioner to keep placement tracking the workload (§4.6).
+// records in one backing-store transaction, move each vertex's full
+// version history to the target, evict the source copies, repoint the
+// directory — and a background rebalancer (Config.RebalanceInterval)
+// feeds hot vertices through the LDG streaming partitioner to keep
+// placement tracking the workload (§4.6).
+//
+// # Time-travel reads
+//
+// Because the graph is multi-versioned, any read-only query can run at a
+// past timestamp while writes proceed (§4.5): Cluster.SnapshotTS mints a
+// pinned, cluster-stable snapshot timestamp held against version GC until
+// closed; Client.At wraps any timestamp from this cluster in a ReadClient
+// whose node programs read the graph exactly as of that timestamp.
+// Config.HistoryRetention keeps unpinned timestamps readable for a
+// wall-clock window; reads behind the GC watermark fail with
+// ErrStaleSnapshot, never wrong data. See timetravel.go.
 //
 // Quick start:
 //
@@ -148,8 +160,17 @@ type Config struct {
 	// Ignored when Retain is set. Default: disabled.
 	GCPeriod time.Duration
 	// Retain keeps the full multi-version history, enabling historical
-	// queries via Client.RunProgramAt (§4.5).
+	// queries at any past timestamp (§4.5; see Client.At).
 	Retain bool
+	// HistoryRetention keeps superseded versions readable for this
+	// wall-clock window before garbage collection may reclaim them: a
+	// historical read (Client.At) at any timestamp minted within the
+	// window is guaranteed to succeed, and a read behind the GC
+	// watermark fails with ErrStaleSnapshot instead of returning wrong
+	// data. Pinned snapshots (Cluster.SnapshotTS) hold the watermark
+	// regardless of this window. Only meaningful with GCPeriod > 0;
+	// ignored under Retain (everything is kept forever).
+	HistoryRetention time.Duration
 	// ProgTimeout bounds node program execution. Default 30s.
 	ProgTimeout time.Duration
 	// WALPath, when set, makes the backing store durable: committed
@@ -191,6 +212,16 @@ type Config struct {
 	// ShardMaxBatch caps one parallel apply batch (0 = 256), bounding
 	// batch-barrier latency. Ignored unless ShardWorkers > 1.
 	ShardMaxBatch int
+	// MaxApplyLag bounds, per gatekeeper, how many committed write-sets
+	// may be awaiting shard application before further commits are
+	// throttled (admission control). Sustained commit bursts can outrun
+	// the apply path; without a bound the backlog — shard queue memory,
+	// the timeline oracle's dependency graph, and the latency of
+	// anything that waits for the apply frontier (node programs,
+	// Quiesce, migration) — grows without limit, and ordering-query cost
+	// grows with the backlog, slowing the whole pipeline down. 0 = 256;
+	// negative disables throttling.
+	MaxApplyLag int
 	// RebalanceInterval, when positive, runs the background heat-driven
 	// rebalancer (§4.6): every interval the hottest vertices across all
 	// shards are re-placed with the LDG streaming partitioner against
@@ -398,15 +429,17 @@ func (c *Cluster) newGatekeeper(i int, epoch uint64) *gatekeeper.Gatekeeper {
 	}
 	ep := c.fabric.Endpoint(transport.GatekeeperAddr(i))
 	return gatekeeper.New(gatekeeper.Config{
-		ID:              i,
-		NumGatekeepers:  c.cfg.Gatekeepers,
-		NumShards:       c.cfg.Shards,
-		Epoch:           epoch,
-		AnnouncePeriod:  c.cfg.AnnouncePeriod,
-		NopPeriod:       c.cfg.NopPeriod,
-		GCPeriod:        c.cfg.GCPeriod,
-		ProgTimeout:     c.cfg.ProgTimeout,
-		HeartbeatPeriod: heartbeat,
+		ID:               i,
+		NumGatekeepers:   c.cfg.Gatekeepers,
+		NumShards:        c.cfg.Shards,
+		Epoch:            epoch,
+		AnnouncePeriod:   c.cfg.AnnouncePeriod,
+		NopPeriod:        c.cfg.NopPeriod,
+		GCPeriod:         c.cfg.GCPeriod,
+		HistoryRetention: c.cfg.HistoryRetention,
+		ProgTimeout:      c.cfg.ProgTimeout,
+		MaxApplyLag:      c.cfg.MaxApplyLag,
+		HeartbeatPeriod:  heartbeat,
 	}, ep, c.kv, c.orc, c.dir)
 }
 
