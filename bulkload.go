@@ -53,6 +53,15 @@ type BulkEdge struct {
 	From, To VertexID
 }
 
+// BulkVertex is one explicit vertex in a bulk load, optionally carrying
+// initial properties. Properties land in the records the segment builders
+// encode, so secondary indexes (Config.Indexes) are populated during the
+// same parallel ingest that installs the graph.
+type BulkVertex struct {
+	ID    VertexID
+	Props map[string]string
+}
+
 // BulkLoadStats reports one BulkLoad call.
 type BulkLoadStats struct {
 	// Vertices and Edges are the installed counts (vertices referenced
@@ -109,6 +118,19 @@ type segResult struct {
 // automatic Checkpoint, making the ingest crash-safe without logging the
 // records through the WAL one by one.
 func (c *Cluster) BulkLoad(vertices []VertexID, edges []BulkEdge) (BulkLoadStats, error) {
+	vs := make([]BulkVertex, len(vertices))
+	for i, v := range vertices {
+		vs[i] = BulkVertex{ID: v}
+	}
+	return c.BulkLoadGraph(vs, edges)
+}
+
+// BulkLoadGraph is BulkLoad for vertices that carry initial properties
+// (BulkVertex): records are built with the properties, so the per-shard
+// secondary indexes are populated from the same segments that install the
+// graph — no per-property transactions needed to make a bulk-loaded graph
+// queryable through Lookup.
+func (c *Cluster) BulkLoadGraph(vertices []BulkVertex, edges []BulkEdge) (BulkLoadStats, error) {
 	start := time.Now()
 	stats := BulkLoadStats{PerShard: make([]int, c.cfg.Shards)}
 	if c.closed.Load() {
@@ -132,8 +154,12 @@ func (c *Cluster) BulkLoad(vertices []VertexID, edges []BulkEdge) (BulkLoadStats
 		order = append(order, v)
 		return i
 	}
-	for _, v := range vertices {
-		add(v)
+	props := make(map[int]map[string]string)
+	for _, bv := range vertices {
+		i := add(bv.ID)
+		if len(bv.Props) > 0 {
+			props[i] = bv.Props
+		}
 	}
 	edgeIdx := make([][2]int32, len(edges))
 	for i, e := range edges {
@@ -235,6 +261,14 @@ func (c *Cluster) BulkLoad(vertices []VertexID, edges []BulkEdge) (BulkLoadStats
 		recs[i] = &graph.VertexRecord{ID: v, Shard: shardOf[i], LastTS: ts}
 		if outDeg[i] > 0 {
 			recs[i].Edges = make(map[graph.EdgeID]graph.EdgeRecord, outDeg[i])
+		}
+		if p := props[i]; len(p) > 0 {
+			// Copied: records outlive the call (shard graphs and the
+			// demand pager read them), and callers keep their maps.
+			recs[i].Props = make(map[string]string, len(p))
+			for k, val := range p {
+				recs[i].Props[k] = val
+			}
 		}
 	}
 	eidPrefix := graph.EdgeIDPrefix(ts.ID())

@@ -71,8 +71,19 @@ func (cl *Client) RunTx(fn func(*Tx) error) (CommitInfo, error) {
 	return CommitInfo{}, fmt.Errorf("weaver: transaction kept conflicting: %w", lastErr)
 }
 
-// GetVertex reads the committed state of one vertex from the backing store
-// (outside any transaction).
+// GetVertex reads the committed state of one vertex directly from the
+// backing store, outside any transaction.
+//
+// Consistency contract: GetVertex is a DURABLE-STATE read, not a snapshot
+// read. Commits reach the backing store before they are forwarded to the
+// shards, so GetVertex always observes its caller's own committed writes
+// immediately (read-your-writes), but it may observe a concurrent
+// transaction's effects BEFORE node programs, Lookup, or Traverse at a
+// fresh snapshot do — the backing store runs ahead of the ordering
+// machinery, and GetVertex carries no timestamp to order it against other
+// reads. Use GetNode for a strictly serializable read through the full
+// ordering pipeline, or Tx.GetVertex for a read validated at commit.
+// TestGetVertexDurableReadContract pins this behavior.
 func (cl *Client) GetVertex(id VertexID) (*VertexData, bool, error) {
 	rec, _, ok, err := cl.gk().ReadVertex(id)
 	if err != nil || !ok {
@@ -101,6 +112,37 @@ func (cl *Client) RunProgram(name string, params []byte, start ...VertexID) ([][
 // snapshot must be newer than the GC watermark).
 func (cl *Client) RunProgramAt(ts Timestamp, name string, params []byte, start ...VertexID) ([][]byte, error) {
 	return cl.gk().RunProgramAt(ts, name, params, start)
+}
+
+// Lookup returns every vertex whose indexed property key equals value, as
+// a strictly serializable snapshot read over the secondary index
+// (Config.Indexes): a fresh snapshot timestamp is minted, every shard
+// answers for its partition once it has applied everything at or before
+// it, and the merged, sorted result contains exactly the vertices whose
+// property was visible at that snapshot — never a phantom from a
+// concurrent writer. The timestamp is returned so callers can chain
+// further reads at the same snapshot with At. Fails with ErrNoIndex when
+// key is not indexed.
+func (cl *Client) Lookup(key, value string) ([]VertexID, Timestamp, error) {
+	return cl.gk().Lookup(core.Timestamp{}, key, value)
+}
+
+// LookupRange is Lookup over the value interval [lo, hi] (lexicographic,
+// inclusive), served by the index's sorted value layer. An empty lo means
+// "from the smallest value"; an empty hi means "to the largest". Results
+// are sorted by vertex ID.
+func (cl *Client) LookupRange(key, lo, hi string) ([]VertexID, Timestamp, error) {
+	return cl.gk().LookupRange(core.Timestamp{}, key, lo, hi)
+}
+
+// RunProgramWhere launches a registered node program starting at every
+// vertex whose indexed property key equals value — "begin at all vertices
+// with kind=block" without a hand-carried ID list. The index lookup and
+// the program read the graph at ONE fresh snapshot timestamp, so the
+// start set and everything the program sees are a single consistent cut.
+// An empty match set returns (nil, ts, nil) without launching anything.
+func (cl *Client) RunProgramWhere(name string, params []byte, key, value string) ([][]byte, Timestamp, error) {
+	return cl.gk().RunProgramWhere(key, value, name, params)
 }
 
 // Now returns the client's gatekeeper clock value without advancing it.
@@ -393,5 +435,3 @@ func (t *Tx) Commit() (CommitInfo, error) {
 
 // Abort discards the transaction.
 func (t *Tx) Abort() { t.done = true }
-
-var _ = core.Timestamp{} // keep core import for the type alias

@@ -7,7 +7,7 @@
 //	weaver-bench -scale 4 -duration 2s    # larger workloads, longer runs
 //
 // Experiments: fig7 fig8 fig9a fig9b fig10 fig11 fig12 fig13 fig14
-// ablation-partition ablation-tau rebalance timetravel
+// ablation-partition ablation-tau rebalance timetravel index
 package main
 
 import (
@@ -85,6 +85,7 @@ func main() {
 	run("ablation-partition", func() (fmt.Stringer, error) { return ablationPartition(o) })
 	run("rebalance", func() (fmt.Stringer, error) { return rebalanceScenario(o) })
 	run("timetravel", func() (fmt.Stringer, error) { return experiments.TimeTravel(o) })
+	run("index", func() (fmt.Stringer, error) { return experiments.Index(o) })
 }
 
 // rebalanceScenario runs the §4.6 online repartitioning experiment

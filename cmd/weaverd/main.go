@@ -30,8 +30,10 @@ import (
 	"syscall"
 	"time"
 
+	"weaver/internal/core"
 	"weaver/internal/gatekeeper"
 	"weaver/internal/graph"
+	"weaver/internal/index"
 	"weaver/internal/kvstore"
 	"weaver/internal/nodeprog"
 	"weaver/internal/oracle"
@@ -57,6 +59,7 @@ func main() {
 		wal        = flag.String("wal", "", "WAL path for a durable store (role=store)")
 		oracleReps = flag.Int("oracle-replicas", 1, "chain replication factor for the oracle (role=store)")
 		workers    = flag.Int("workers", 0, "apply worker-pool size for conflict-aware parallel execution (role=shard; 0 or 1 = serial)")
+		indexKeys  = flag.String("index", "", "comma-separated vertex property keys to index (give the SAME list to every shard; role=demo also smokes a Lookup)")
 	)
 	flag.Parse()
 	wire.RegisterGob()
@@ -117,7 +120,7 @@ func main() {
 		defer orc.Close()
 		kv := remote.NewKVClient(node.Endpoint(transport.Addr(fmt.Sprintf("shkv/%d", *id))), "kv", 10*time.Second)
 		defer kv.Close()
-		sh := shard.New(shard.Config{ID: *id, NumGatekeepers: *gks, Workers: *workers},
+		sh := shard.New(shard.Config{ID: *id, NumGatekeepers: *gks, Workers: *workers, Indexes: indexSpecs(*indexKeys)},
 			node.Endpoint(transport.ShardAddr(*id)), orc, reg, dir)
 		n := sh.Recover(kv)
 		sh.Start()
@@ -165,7 +168,7 @@ func main() {
 		}, node.Endpoint(transport.GatekeeperAddr(*id)), kv, orc, dir)
 		gk.Start()
 		defer gk.Stop()
-		runDemo(gk)
+		runDemo(gk, *indexKeys != "")
 
 	default:
 		fmt.Fprintln(os.Stderr, "weaverd: -role must be store, gatekeeper, shard, or demo")
@@ -180,6 +183,15 @@ func splitList(s string) []string {
 	return strings.Split(s, ",")
 }
 
+// indexSpecs parses the -index flag into shard index specs.
+func indexSpecs(keys string) []index.Spec {
+	var specs []index.Spec
+	for _, k := range splitList(keys) {
+		specs = append(specs, index.Spec{Key: k})
+	}
+	return specs
+}
+
 func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
@@ -187,13 +199,16 @@ func waitForSignal() {
 	log.Println("shutting down")
 }
 
-func runDemo(gk *gatekeeper.Gatekeeper) {
+func runDemo(gk *gatekeeper.Gatekeeper, withIndex bool) {
 	ops := []graph.Op{
 		{Kind: graph.OpCreateVertex, Vertex: "demo/a"},
 		{Kind: graph.OpCreateVertex, Vertex: "demo/b"},
 		{Kind: graph.OpCreateVertex, Vertex: "demo/c"},
 		{Kind: graph.OpCreateEdge, Vertex: "demo/a", Edge: "~0", To: "demo/b"},
 		{Kind: graph.OpCreateEdge, Vertex: "demo/b", Edge: "~1", To: "demo/c"},
+		{Kind: graph.OpSetVertexProp, Vertex: "demo/a", Key: "kind", Value: "demo"},
+		{Kind: graph.OpSetVertexProp, Vertex: "demo/b", Key: "kind", Value: "demo"},
+		{Kind: graph.OpSetVertexProp, Vertex: "demo/c", Key: "kind", Value: "demo"},
 	}
 	res, err := gk.CommitTx(nil, ops)
 	if err != nil {
@@ -215,6 +230,18 @@ func runDemo(gk *gatekeeper.Gatekeeper) {
 	log.Printf("demo traversal visited %d vertices: %v", len(visited), visited)
 	if len(visited) != 3 {
 		log.Fatal("demo FAILED")
+	}
+	if withIndex {
+		// Scatter-gather secondary-index lookup through the TCP stack
+		// (shards must run with the same -index list).
+		ids, _, err := gk.Lookup(core.Timestamp{}, "kind", "demo")
+		if err != nil {
+			log.Fatalf("demo index lookup: %v", err)
+		}
+		log.Printf("demo index lookup kind=demo: %v", ids)
+		if len(ids) != 3 {
+			log.Fatal("demo FAILED (index lookup)")
+		}
 	}
 	log.Println("demo OK ✓")
 }

@@ -1,7 +1,10 @@
 // Social network example (§5.1): a TAO-style backend on Weaver. It posts a
 // photo with access control in one atomic transaction (the paper's Fig 2),
-// then shows that a concurrent reader can never observe the photo without
-// its ACL — the access-control anomaly strict serializability prevents.
+// shows that a concurrent reader can never observe the photo without its
+// ACL, and then uses SECONDARY INDEXES (weaver.Config.Indexes) instead of a
+// hand-maintained ID registry: find-users-by-city via Lookup, and a
+// traversal whose start set is an index selector (RunProgramWhere) — the
+// lookup and the traversal read one consistent snapshot.
 package main
 
 import (
@@ -9,21 +12,32 @@ import (
 	"log"
 
 	"weaver"
+	"weaver/internal/nodeprog"
 )
 
 func main() {
-	c, err := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 4})
+	c, err := weaver.Open(weaver.Config{
+		Gatekeepers: 2,
+		Shards:      4,
+		// Index users by home city: no application-side ID lists needed
+		// to answer "everyone in Ithaca".
+		Indexes: []weaver.IndexSpec{{Key: "city"}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 	cl := c.Client()
 
-	// Users and their friendship edges.
-	users := []weaver.VertexID{"user/ada", "user/bob", "user/cyd", "user/dan"}
+	// Users with their home city and friendship edges.
+	users := map[weaver.VertexID]string{
+		"user/ada": "ithaca", "user/bob": "ithaca",
+		"user/cyd": "nyc", "user/dan": "ithaca",
+	}
 	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
-		for _, u := range users {
+		for u, city := range users {
 			tx.CreateVertex(u)
+			tx.SetProperty(u, "city", city)
 		}
 		for _, pair := range [][2]weaver.VertexID{
 			{"user/ada", "user/bob"}, {"user/ada", "user/cyd"}, {"user/bob", "user/dan"},
@@ -59,19 +73,54 @@ func main() {
 	// edges are visible together or not at all.
 	photo, ok, err := cl.GetNode("photo/1")
 	if err != nil || !ok {
-		log.Fatal("photo missing", err)
+		log.Fatal("photo missing ", err)
 	}
 	fmt.Printf("photo: %q, ACL edges: %d\n", photo.Props["caption"], photo.NumEdges)
 
-	// TAO-style reads.
-	friends, err := cl.GetEdges("user/ada")
+	// Secondary index, equality: every user in Ithaca — a strictly
+	// serializable snapshot lookup, no application-side registry.
+	ithacans, _, err := cl.Lookup("city", "ithaca")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ada's edges: %v\n", friends)
-	n, err := cl.CountEdges("user/bob")
+	fmt.Printf("users in ithaca: %v\n", ithacans)
+
+	// Index + node-program composition: traverse friend edges starting
+	// from EVERY Ithaca user, start set and traversal at one snapshot.
+	params := nodeprog.Encode(nodeprog.TraverseParams{PropKey: "kind", PropValue: "friend"})
+	res, _, err := cl.RunProgramWhere("traverse", params, "city", "ithaca")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bob's out-degree: %d\n", n)
+	reach := map[weaver.VertexID]bool{}
+	for _, r := range res {
+		var v weaver.VertexID
+		if err := nodeprog.Decode(r, &v); err != nil {
+			log.Fatal(err)
+		}
+		reach[v] = true
+	}
+	fmt.Printf("reachable over friend edges from ithaca: %d users\n", len(reach))
+
+	// Historical lookup: pin a snapshot, move Ada, and ask the past.
+	snap, err := c.SnapshotTS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		tx.SetProperty("user/ada", "city", "nyc")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	then, err := cl.At(snap.TS()).Lookup("city", "ithaca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	now, _, err := cl.Lookup("city", "ithaca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ithaca then: %v\nithaca now:  %v\n", then, now)
 }

@@ -246,6 +246,23 @@ func (t Timestamp) PointwiseLE(u Timestamp) bool {
 	return true
 }
 
+// PointwiseLT reports whether t is strictly pointwise below u: t ≤ u
+// componentwise with at least one strict inequality (lower epochs compare
+// below outright). This is the collection-safety test for garbage
+// collection against watermarks built with PointwiseMin: such a watermark
+// is a SYNTHETIC vector whose owner is arbitrary (the first contributing
+// report), so happens-before Compare — which short-circuits to Equal on
+// (owner, counter) identity — can spuriously call a strictly-dominated
+// version "Equal" to the watermark and keep it forever. A version whose
+// lifetime ended strictly pointwise below the watermark is safe to
+// collect: every reader the staleness gate admits satisfies wm ≤ reader
+// pointwise, so the version's end ≤ wm ≤ reader with a strict step,
+// making it invisible (or its identity unreachable) at every admissible
+// read timestamp.
+func (t Timestamp) PointwiseLT(u Timestamp) bool {
+	return t.PointwiseLE(u) && !u.PointwiseLE(t)
+}
+
 // Before reports whether t happens-before u.
 func (t Timestamp) Before(u Timestamp) bool { return t.Compare(u) == Before }
 

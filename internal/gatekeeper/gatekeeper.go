@@ -135,18 +135,20 @@ func (c Config) withDefaults() Config {
 // Stats counts gatekeeper activity; Announces and Nops feed the Fig 14
 // coordination-overhead experiment.
 type Stats struct {
-	TxCommitted   uint64
-	TxConflicts   uint64
-	TxInvalid     uint64
-	TxRetries     uint64
-	TxApplied     uint64 // shard apply acknowledgements received
-	ApplyPending  uint64 // forwarded write-sets not yet acknowledged
-	Pauses        uint64 // intake pauses (epoch barriers, bulk loads, migration batches)
-	Announces     uint64
-	Nops          uint64
-	ProgsStarted  uint64
-	ProgsFinished uint64
-	OracleAssigns uint64
+	TxCommitted     uint64
+	TxConflicts     uint64
+	TxInvalid       uint64
+	TxRetries       uint64
+	TxApplied       uint64 // shard apply acknowledgements received
+	ApplyPending    uint64 // forwarded write-sets not yet acknowledged
+	Pauses          uint64 // intake pauses (epoch barriers, bulk loads, migration batches)
+	Announces       uint64
+	Nops            uint64
+	ProgsStarted    uint64
+	ProgsFinished   uint64
+	LookupsStarted  uint64 // secondary-index lookups coordinated
+	LookupsFinished uint64
+	OracleAssigns   uint64
 }
 
 // coordinatorHopBit marks hop IDs minted by a gatekeeper coordinator, so
@@ -188,6 +190,7 @@ type Gatekeeper struct {
 	clock       *core.VectorClock
 	seq         *transport.Sequencer
 	progs       map[core.ID]*progPending
+	lookups     map[core.ID]*lookupPending
 	gcSeen      map[int]core.Timestamp
 	gcShardSeen map[int]core.Timestamp
 	// pins holds snapshot timestamps (refcounted by identity) that GC
@@ -208,18 +211,20 @@ type Gatekeeper struct {
 
 	hopSeq atomic.Uint64
 
-	txCommitted   atomic.Uint64
-	txConflicts   atomic.Uint64
-	txInvalid     atomic.Uint64
-	txRetries     atomic.Uint64
-	txApplied     atomic.Uint64
-	applyPending  atomic.Int64
-	pauses        atomic.Uint64
-	announces     atomic.Uint64
-	nops          atomic.Uint64
-	progsStarted  atomic.Uint64
-	progsFinished atomic.Uint64
-	oracleAssigns atomic.Uint64
+	txCommitted     atomic.Uint64
+	txConflicts     atomic.Uint64
+	txInvalid       atomic.Uint64
+	txRetries       atomic.Uint64
+	txApplied       atomic.Uint64
+	applyPending    atomic.Int64
+	pauses          atomic.Uint64
+	announces       atomic.Uint64
+	nops            atomic.Uint64
+	progsStarted    atomic.Uint64
+	progsFinished   atomic.Uint64
+	lookupsStarted  atomic.Uint64
+	lookupsFinished atomic.Uint64
+	oracleAssigns   atomic.Uint64
 }
 
 // New wires a gatekeeper to its endpoint, backing store, oracle, and
@@ -227,16 +232,17 @@ type Gatekeeper struct {
 func New(cfg Config, ep transport.Endpoint, kv kvstore.Backing, orc oracle.Client, dir partition.Directory) *Gatekeeper {
 	cfg = cfg.withDefaults()
 	return &Gatekeeper{
-		cfg:   cfg,
-		ep:    ep,
-		kv:    kv,
-		orc:   orc,
-		dir:   dir,
-		clock: core.NewVectorClock(cfg.ID, cfg.NumGatekeepers, cfg.Epoch),
-		seq:   transport.NewSequencer(),
-		progs: make(map[core.ID]*progPending),
-		pins:  make(map[core.ID]*pinnedSnapshot),
-		stop:  make(chan struct{}),
+		cfg:     cfg,
+		ep:      ep,
+		kv:      kv,
+		orc:     orc,
+		dir:     dir,
+		clock:   core.NewVectorClock(cfg.ID, cfg.NumGatekeepers, cfg.Epoch),
+		seq:     transport.NewSequencer(),
+		progs:   make(map[core.ID]*progPending),
+		lookups: make(map[core.ID]*lookupPending),
+		pins:    make(map[core.ID]*pinnedSnapshot),
+		stop:    make(chan struct{}),
 	}
 }
 
@@ -290,24 +296,31 @@ func (g *Gatekeeper) Stop() {
 		close(p.done)
 	}
 	g.progs = make(map[core.ID]*progPending)
+	for _, p := range g.lookups {
+		p.err = ErrStopped
+		close(p.done)
+	}
+	g.lookups = make(map[core.ID]*lookupPending)
 	g.mu.Unlock()
 }
 
 // Stats returns a snapshot of activity counters.
 func (g *Gatekeeper) Stats() Stats {
 	return Stats{
-		TxCommitted:   g.txCommitted.Load(),
-		TxConflicts:   g.txConflicts.Load(),
-		TxInvalid:     g.txInvalid.Load(),
-		TxRetries:     g.txRetries.Load(),
-		TxApplied:     g.txApplied.Load(),
-		ApplyPending:  uint64(max(g.applyPending.Load(), 0)),
-		Pauses:        g.pauses.Load(),
-		Announces:     g.announces.Load(),
-		Nops:          g.nops.Load(),
-		ProgsStarted:  g.progsStarted.Load(),
-		ProgsFinished: g.progsFinished.Load(),
-		OracleAssigns: g.oracleAssigns.Load(),
+		TxCommitted:     g.txCommitted.Load(),
+		TxConflicts:     g.txConflicts.Load(),
+		TxInvalid:       g.txInvalid.Load(),
+		TxRetries:       g.txRetries.Load(),
+		TxApplied:       g.txApplied.Load(),
+		ApplyPending:    uint64(max(g.applyPending.Load(), 0)),
+		Pauses:          g.pauses.Load(),
+		Announces:       g.announces.Load(),
+		Nops:            g.nops.Load(),
+		ProgsStarted:    g.progsStarted.Load(),
+		ProgsFinished:   g.progsFinished.Load(),
+		LookupsStarted:  g.lookupsStarted.Load(),
+		LookupsFinished: g.lookupsFinished.Load(),
+		OracleAssigns:   g.oracleAssigns.Load(),
 	}
 }
 
@@ -348,13 +361,16 @@ func (g *Gatekeeper) Quiesce(timeout time.Duration) error {
 	}
 }
 
-// OutstandingPrograms returns the number of node programs issued through
-// this gatekeeper that have not yet completed. Bulk ingest drains them
-// before installing segments.
+// OutstandingPrograms returns the number of read queries — node programs
+// and index lookups — issued through this gatekeeper that have not yet
+// completed. Bulk ingest and migration batches drain them before mutating
+// shard state wholesale: a lookup mid-scatter must not observe a vertex's
+// postings detached from its source shard but not yet attached at its
+// target.
 func (g *Gatekeeper) OutstandingPrograms() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.progs)
+	return len(g.progs) + len(g.lookups)
 }
 
 // ObserveTimestamp merges ts into this gatekeeper's vector clock, exactly
@@ -513,6 +529,8 @@ func (g *Gatekeeper) handle(msg transport.Message) {
 		g.mu.Unlock()
 	case wire.ProgDelta:
 		g.handleProgDelta(m, msg.From)
+	case wire.IndexResult:
+		g.handleIndexResult(m)
 	case wire.GCReport:
 		// Gatekeeper 0 aggregates watermarks and prunes the oracle's
 		// event dependency graph (§4.5).
@@ -573,6 +591,9 @@ func (g *Gatekeeper) sendGCReport() {
 	for _, p := range g.progs {
 		wmOracle = core.PointwiseMin(wmOracle, p.ts)
 	}
+	for _, p := range g.lookups {
+		wmOracle = core.PointwiseMin(wmOracle, p.ts)
+	}
 	wm := cur
 	if g.cfg.HistoryRetention > 0 {
 		// Report the clock as it stood HistoryRetention ago, so versions
@@ -600,6 +621,9 @@ func (g *Gatekeeper) sendGCReport() {
 		g.retain = g.retain[aged:]
 	}
 	for _, p := range g.progs {
+		wm = core.PointwiseMin(wm, p.ts)
+	}
+	for _, p := range g.lookups {
 		wm = core.PointwiseMin(wm, p.ts)
 	}
 	for _, p := range g.pins {

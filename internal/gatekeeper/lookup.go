@@ -1,0 +1,186 @@
+package gatekeeper
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+)
+
+// ErrNoIndex is returned by index lookups naming a property key no
+// secondary index is configured for (weaver.Config.Indexes).
+var ErrNoIndex = errors.New("gatekeeper: no secondary index on property key")
+
+// lookupPending tracks one scatter-gather index lookup: which shards have
+// not answered yet and the merged result set.
+type lookupPending struct {
+	ts        core.Timestamp // the query's own fresh timestamp (identity, GC-holding)
+	remaining map[int]struct{}
+	vertices  []graph.VertexID
+	err       error
+	done      chan struct{}
+}
+
+// Lookup evaluates a secondary-index equality query cluster-wide at
+// readTS: every shard answers for its partition once it has applied
+// everything at or before readTS, and the merged result is exactly the set
+// of vertices whose indexed property equaled value in the snapshot at
+// readTS — historically consistent when readTS is a pinned or retained
+// past timestamp (§4.5). A ZERO readTS means "at a fresh snapshot": the
+// lookup reads at its own registered timestamp, which is strictly after
+// every transaction committed through this gatekeeper and held against GC
+// while the query runs — the strictly serializable current-lookup mode.
+// The effective read timestamp is returned either way. Results are sorted
+// by vertex ID. Returns an error wrapping ErrStaleSnapshot when readTS has
+// fallen behind the GC watermark, or ErrNoIndex when key is not indexed.
+func (g *Gatekeeper) Lookup(readTS core.Timestamp, key, value string) ([]graph.VertexID, core.Timestamp, error) {
+	return g.lookup(readTS, wire.IndexLookup{Key: key, Value: value})
+}
+
+// LookupRange is Lookup over the value interval [lo, hi] (lexicographic,
+// inclusive; empty lo/hi = unbounded), served by the index's sorted value
+// layer.
+func (g *Gatekeeper) LookupRange(readTS core.Timestamp, key, lo, hi string) ([]graph.VertexID, core.Timestamp, error) {
+	return g.lookup(readTS, wire.IndexLookup{Key: key, Lo: lo, Hi: hi, Range: true})
+}
+
+// lookup coordinates one scatter-gather index query.
+func (g *Gatekeeper) lookup(readTS core.Timestamp, req wire.IndexLookup) ([]graph.VertexID, core.Timestamp, error) {
+	// The pause lock gates issuance only, never the completion wait
+	// (exactly as runProgram): lookups REGISTERED before a migration
+	// pause complete behind it — the drain counts them — while lookups
+	// parked at the gate stay unregistered and launch after Resume with a
+	// post-migration timestamp.
+	g.pause.RLock()
+	select {
+	case <-g.stop:
+		g.pause.RUnlock()
+		return nil, readTS, ErrStopped
+	default:
+	}
+	// A fresh timestamp is the query's identity; minting it and
+	// registering the pending record happen in ONE critical section so GC
+	// watermark reports — which hold below every registered query — can
+	// never slip in between and advance past the fresh timestamp (see
+	// registerProg). A current-mode lookup (zero readTS) READS at this
+	// same registered timestamp, so its snapshot is GC-protected for the
+	// query's whole lifetime.
+	g.mu.Lock()
+	qts := g.clock.Tick()
+	qid := qts.ID()
+	p := &lookupPending{
+		ts:        qts,
+		remaining: make(map[int]struct{}, g.cfg.NumShards),
+		done:      make(chan struct{}),
+	}
+	for s := 0; s < g.cfg.NumShards; s++ {
+		p.remaining[s] = struct{}{}
+	}
+	g.lookups[qid] = p
+	g.mu.Unlock()
+	g.lookupsStarted.Add(1)
+	if readTS.Zero() {
+		readTS = qts
+	}
+
+	req.QID = qid
+	req.ReadTS = readTS
+	req.Reply = g.ep.Addr()
+	for s := 0; s < g.cfg.NumShards; s++ {
+		if err := g.ep.Send(transport.ShardAddr(s), req); err != nil {
+			g.finishLookup(qid, p, fmt.Errorf("%w: shard %d unreachable: %v", ErrProgFailed, s, err))
+			break
+		}
+	}
+	g.pause.RUnlock()
+
+	select {
+	case <-p.done:
+	case <-time.After(g.cfg.ProgTimeout):
+		g.finishLookup(qid, p, ErrProgTimeout)
+		<-p.done
+	case <-g.stop:
+		g.finishLookup(qid, p, ErrStopped)
+		<-p.done
+	}
+	if p.err != nil {
+		return nil, readTS, p.err
+	}
+	sort.Slice(p.vertices, func(i, j int) bool { return p.vertices[i] < p.vertices[j] })
+	return p.vertices, readTS, nil
+}
+
+// handleIndexResult folds one shard's reply into the pending lookup.
+func (g *Gatekeeper) handleIndexResult(m wire.IndexResult) {
+	g.mu.Lock()
+	p, ok := g.lookups[m.QID]
+	if !ok {
+		g.mu.Unlock()
+		return // late reply for a finished/timed-out lookup
+	}
+	if m.Err != "" || m.ErrCode != wire.ErrCodeNone {
+		g.mu.Unlock()
+		base := ErrProgFailed
+		switch m.ErrCode {
+		case wire.ErrCodeStaleSnapshot:
+			base = ErrStaleSnapshot
+		case wire.ErrCodeNoIndex:
+			base = ErrNoIndex
+		}
+		g.finishLookup(m.QID, p, fmt.Errorf("%w: %s", base, m.Err))
+		return
+	}
+	if _, waiting := p.remaining[m.Shard]; !waiting {
+		g.mu.Unlock()
+		return // duplicate reply
+	}
+	delete(p.remaining, m.Shard)
+	p.vertices = append(p.vertices, m.Vertices...)
+	finished := len(p.remaining) == 0
+	g.mu.Unlock()
+	if finished {
+		g.finishLookup(m.QID, p, nil)
+	}
+}
+
+// finishLookup completes a lookup exactly once.
+func (g *Gatekeeper) finishLookup(qid core.ID, p *lookupPending, err error) {
+	g.mu.Lock()
+	if _, live := g.lookups[qid]; !live {
+		g.mu.Unlock()
+		return
+	}
+	delete(g.lookups, qid)
+	p.err = err
+	g.mu.Unlock()
+	g.lookupsFinished.Add(1)
+	close(p.done)
+}
+
+// RunProgramWhere launches a node program whose start set is an index
+// selector instead of a hand-carried vertex list: one fresh snapshot
+// timestamp is minted, the cluster-wide index lookup for key=value runs at
+// it, and the program then reads the graph at the SAME timestamp — so the
+// start set and everything the program sees are one consistent snapshot
+// (no writer can sneak a vertex in or out between the two phases). The
+// timestamp is pinned for the duration, so the two-phase read can never
+// age past the GC watermark between its phases. An empty match set returns
+// (nil, ts, nil) without launching the program.
+func (g *Gatekeeper) RunProgramWhere(key, value, prog string, params []byte) ([][]byte, core.Timestamp, error) {
+	g.mu.Lock()
+	ts := g.clock.Tick()
+	g.pinLocked(ts)
+	g.mu.Unlock()
+	defer g.Unpin(ts)
+	start, _, err := g.Lookup(ts, key, value)
+	if err != nil || len(start) == 0 {
+		return nil, ts, err
+	}
+	res, err := g.RunProgramAt(ts, prog, params, start)
+	return res, ts, err
+}

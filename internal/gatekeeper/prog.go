@@ -31,11 +31,32 @@ var ErrStaleSnapshot = errors.New("gatekeeper: snapshot timestamp behind GC wate
 // fresh refinable timestamp and reads the graph snapshot at that timestamp
 // (§4.1).
 func (g *Gatekeeper) RunProgram(prog string, params []byte, start []graph.VertexID) ([][]byte, core.Timestamp, error) {
+	return g.runProgram(core.Timestamp{}, prog, params, start)
+}
+
+// registerProg mints a query timestamp and registers its pending record in
+// ONE critical section. The two must be atomic with respect to GC
+// reporting: sendGCReport holds the watermark below every registered
+// query, so a report slipping between a tick and a later registration
+// could advance the cluster watermark past the fresh timestamp and make
+// shards reject the brand-new query as a stale snapshot. Callers must
+// hold the pause read lock: a query registered while blocked on the pause
+// gate would deadlock the migration drain that waits for registered
+// queries to finish.
+func (g *Gatekeeper) registerProg() (core.Timestamp, *progPending) {
 	g.mu.Lock()
+	defer g.mu.Unlock()
 	ts := g.clock.Tick()
-	g.mu.Unlock()
-	res, err := g.runProgram(ts, ts, prog, params, start)
-	return res, ts, err
+	p := &progPending{
+		ts:      ts,
+		pending: make(map[uint64]struct{}),
+		early:   make(map[uint64]struct{}),
+		done:    make(chan struct{}),
+		shards:  make(map[int]struct{}),
+	}
+	g.progs[ts.ID()] = p
+	g.progsStarted.Add(1)
+	return ts, p
 }
 
 // RunProgramAt launches a node program reading the graph as of a caller-
@@ -47,53 +68,63 @@ func (g *Gatekeeper) RunProgram(prog string, params []byte, start []graph.Vertex
 // repeated, can read at the same pinned snapshot. Returns an error
 // wrapping ErrStaleSnapshot when readTS is behind the GC watermark.
 func (g *Gatekeeper) RunProgramAt(readTS core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
-	g.mu.Lock()
-	qts := g.clock.Tick()
-	g.mu.Unlock()
-	return g.runProgram(qts, readTS, prog, params, start)
+	if readTS.Zero() {
+		return nil, fmt.Errorf("%w: zero read timestamp", ErrProgFailed)
+	}
+	res, _, err := g.runProgram(readTS, prog, params, start)
+	return res, err
 }
 
-// runProgram coordinates one node program: qts is the query's own fresh
-// timestamp (identity, termination, GC-holding), readTS the snapshot it
-// reads at (== qts for ordinary programs).
-func (g *Gatekeeper) runProgram(qts, readTS core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, error) {
-	ts := qts
+// runProgram coordinates one node program. A fresh timestamp is minted as
+// the query's identity (termination tracking, GC-holding); readTS is the
+// snapshot the program reads at — zero means "read at the query's own
+// fresh timestamp" (ordinary programs). Returns the query timestamp.
+func (g *Gatekeeper) runProgram(readTS core.Timestamp, prog string, params []byte, start []graph.VertexID) ([][]byte, core.Timestamp, error) {
 	// The pause lock gates issuance only — never the completion wait, or
 	// a program stranded on a crashed shard would stall the epoch barrier
-	// that recovers that very shard (§4.3).
+	// that recovers that very shard (§4.3). It is taken BEFORE the query
+	// registers (see registerProg), so a program parked at the gate during
+	// a migration pause is invisible to the drain and launches afterwards
+	// with a fresh post-migration timestamp.
 	g.pause.RLock()
 	select {
 	case <-g.stop:
 		g.pause.RUnlock()
-		return nil, ErrStopped
+		return nil, core.Timestamp{}, ErrStopped
 	default:
+	}
+	ts, p := g.registerProg()
+	qid := ts.ID()
+	if readTS.Zero() {
+		readTS = ts
 	}
 	if len(start) == 0 {
 		g.pause.RUnlock()
-		return nil, nil
+		g.finishProg(qid, p, nil)
+		<-p.done
+		return nil, ts, p.err
 	}
-	g.progsStarted.Add(1)
-	qid := ts.ID()
 
+	// Hop building touches the backing store (home-shard resolution), so
+	// it runs outside g.mu; the pending record is already registered and
+	// holding the GC watermark, and no delta can arrive before the sends
+	// below, so filling its maps under a fresh lock hold is safe.
 	byShard := make(map[int][]wire.Hop)
-	p := &progPending{
-		ts:      ts,
-		pending: make(map[uint64]struct{}, len(start)),
-		early:   make(map[uint64]struct{}),
-		done:    make(chan struct{}),
-		shards:  make(map[int]struct{}),
+	g.mu.Lock()
+	hopIDs := make([]uint64, len(start))
+	for i := range start {
+		hopIDs[i] = g.hopSeq.Add(1) | coordinatorHopBit
+		p.pending[hopIDs[i]] = struct{}{}
 	}
-	for _, v := range start {
-		id := g.hopSeq.Add(1) | coordinatorHopBit
-		p.pending[id] = struct{}{}
+	g.mu.Unlock()
+	for i, v := range start {
 		s := g.lookupShard(v)
-		byShard[s] = append(byShard[s], wire.Hop{ID: id, Vertex: v, Program: prog, Params: params, Origin: -1})
+		byShard[s] = append(byShard[s], wire.Hop{ID: hopIDs[i], Vertex: v, Program: prog, Params: params, Origin: -1})
 	}
+	g.mu.Lock()
 	for s := range byShard {
 		p.shards[s] = struct{}{}
 	}
-	g.mu.Lock()
-	g.progs[qid] = p
 	g.mu.Unlock()
 
 	for s, hops := range byShard {
@@ -123,9 +154,9 @@ func (g *Gatekeeper) runProgram(qts, readTS core.Timestamp, prog string, params 
 		<-p.done
 	}
 	if p.err != nil {
-		return nil, p.err
+		return nil, ts, p.err
 	}
-	return p.results, nil
+	return p.results, ts, nil
 }
 
 // lookupShard resolves a vertex's home shard, preferring the authoritative

@@ -4,10 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
 
-	"weaver/internal/core"
+	"weaver/internal/binenc"
 )
 
 // Vertex records are the unit the backing store, WAL, snapshots, demand
@@ -15,9 +14,11 @@ import (
 // record a transaction touches — so the codec is hot. Records use a
 // hand-rolled length-prefixed binary format: ~6x faster than gob for this
 // shape, mostly because gob re-transmits a type descriptor with every
-// standalone blob. Blobs written by older versions (bare gob) are still
-// decoded via a fallback, keyed off the magic byte: 0xD7 can never start
-// a gob stream (gob's first byte is a small length or one of 0xF8-0xFF).
+// standalone blob. The shared primitives (and their defensive decoding
+// guards) live in internal/binenc. Blobs written by older versions (bare
+// gob) are still decoded via a fallback, keyed off the magic byte: 0xD7
+// can never start a gob stream (gob's first byte is a small length or one
+// of 0xF8-0xFF).
 
 const (
 	recMagic   = 0xD7
@@ -30,16 +31,16 @@ func EncodeRecord(rec *VertexRecord) []byte {
 	size := 24 + len(rec.ID) + 8*len(rec.LastTS.Clock) + 24*len(rec.Props) + 48*len(rec.Edges)
 	buf := make([]byte, 0, size)
 	buf = append(buf, recMagic, recVersion)
-	buf = appendStr(buf, string(rec.ID))
+	buf = binenc.AppendStr(buf, string(rec.ID))
 	buf = binary.AppendUvarint(buf, uint64(rec.Shard))
-	buf = appendBool(buf, rec.Deleted)
-	buf = appendTS(buf, rec.LastTS)
-	buf = appendStrMap(buf, rec.Props)
+	buf = binenc.AppendBool(buf, rec.Deleted)
+	buf = binenc.AppendTS(buf, rec.LastTS)
+	buf = binenc.AppendStrMap(buf, rec.Props)
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Edges)))
 	for eid, er := range rec.Edges {
-		buf = appendStr(buf, string(eid))
-		buf = appendStr(buf, string(er.To))
-		buf = appendStrMap(buf, er.Props)
+		buf = binenc.AppendStr(buf, string(eid))
+		buf = binenc.AppendStr(buf, string(er.To))
+		buf = binenc.AppendStrMap(buf, er.Props)
 	}
 	return buf
 }
@@ -54,32 +55,27 @@ func DecodeRecord(data []byte) (*VertexRecord, error) {
 	if data[1] != recVersion {
 		return nil, fmt.Errorf("graph: record codec version %d unsupported", data[1])
 	}
-	d := decoder{buf: data[2:]}
+	d := binenc.Decoder{Buf: data[2:]}
 	rec := &VertexRecord{}
-	rec.ID = VertexID(d.str())
-	rec.Shard = int(d.uvarint())
-	rec.Deleted = d.bool()
-	rec.LastTS = d.ts()
-	rec.Props = d.strMap()
-	if n := d.uvarint(); n > 0 {
-		// Bound the allocation hint by what the remaining bytes could
-		// possibly hold (each edge is ≥2 bytes): a corrupt header must
-		// not make us pre-size a map for 2^60 entries.
-		if n > uint64(len(d.buf)) {
-			d.err = errTruncatedRecord
-		} else {
-			rec.Edges = make(map[EdgeID]EdgeRecord, n)
-			for i := uint64(0); i < n && d.err == nil; i++ {
-				eid := EdgeID(d.str())
-				var er EdgeRecord
-				er.To = VertexID(d.str())
-				er.Props = d.strMap()
-				rec.Edges[eid] = er
-			}
+	rec.ID = VertexID(d.Str())
+	rec.Shard = int(d.Uvarint())
+	rec.Deleted = d.Bool()
+	rec.LastTS = d.TS()
+	rec.Props = d.StrMap()
+	// Each edge is ≥2 bytes: the count guard keeps a corrupt header from
+	// pre-sizing a map for 2^60 entries.
+	if n := d.Count(2); n > 0 && d.Err == nil {
+		rec.Edges = make(map[EdgeID]EdgeRecord, n)
+		for i := uint64(0); i < n && d.Err == nil; i++ {
+			eid := EdgeID(d.Str())
+			var er EdgeRecord
+			er.To = VertexID(d.Str())
+			er.Props = d.StrMap()
+			rec.Edges[eid] = er
 		}
 	}
-	if d.err != nil {
-		return nil, fmt.Errorf("graph: decode record: %w", d.err)
+	if d.Err != nil {
+		return nil, fmt.Errorf("graph: decode record: %w", d.Err)
 	}
 	return rec, nil
 }
@@ -90,131 +86,4 @@ func decodeGobRecord(data []byte) (*VertexRecord, error) {
 		return nil, err
 	}
 	return &rec, nil
-}
-
-func appendStr(buf []byte, s string) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(s)))
-	return append(buf, s...)
-}
-
-func appendBool(buf []byte, b bool) []byte {
-	if b {
-		return append(buf, 1)
-	}
-	return append(buf, 0)
-}
-
-func appendTS(buf []byte, ts core.Timestamp) []byte {
-	buf = binary.AppendUvarint(buf, ts.Epoch)
-	buf = binary.AppendVarint(buf, int64(ts.Owner))
-	buf = binary.AppendUvarint(buf, uint64(len(ts.Clock)))
-	for _, c := range ts.Clock {
-		buf = binary.AppendUvarint(buf, c)
-	}
-	return buf
-}
-
-func appendStrMap(buf []byte, m map[string]string) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(m)))
-	for k, v := range m {
-		buf = appendStr(buf, k)
-		buf = appendStr(buf, v)
-	}
-	return buf
-}
-
-// decoder is a cursor over an encoded record; the first framing error
-// sticks and zero values flow from then on.
-type decoder struct {
-	buf []byte
-	err error
-}
-
-var errTruncatedRecord = errors.New("truncated record")
-
-func (d *decoder) uvarint() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.buf)
-	if n <= 0 {
-		d.err = errTruncatedRecord
-		return 0
-	}
-	d.buf = d.buf[n:]
-	return v
-}
-
-func (d *decoder) varint() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.buf)
-	if n <= 0 {
-		d.err = errTruncatedRecord
-		return 0
-	}
-	d.buf = d.buf[n:]
-	return v
-}
-
-func (d *decoder) str() string {
-	n := d.uvarint()
-	if d.err != nil {
-		return ""
-	}
-	if uint64(len(d.buf)) < n {
-		d.err = errTruncatedRecord
-		return ""
-	}
-	s := string(d.buf[:n])
-	d.buf = d.buf[n:]
-	return s
-}
-
-func (d *decoder) bool() bool {
-	if d.err != nil {
-		return false
-	}
-	if len(d.buf) < 1 {
-		d.err = errTruncatedRecord
-		return false
-	}
-	b := d.buf[0]
-	d.buf = d.buf[1:]
-	return b != 0
-}
-
-func (d *decoder) ts() core.Timestamp {
-	var ts core.Timestamp
-	ts.Epoch = d.uvarint()
-	ts.Owner = int(d.varint())
-	if n := d.uvarint(); n > 0 && d.err == nil {
-		if n > uint64(len(d.buf)) { // each clock entry is ≥1 byte
-			d.err = errTruncatedRecord
-			return ts
-		}
-		ts.Clock = make([]uint64, n)
-		for i := range ts.Clock {
-			ts.Clock[i] = d.uvarint()
-		}
-	}
-	return ts
-}
-
-func (d *decoder) strMap() map[string]string {
-	n := d.uvarint()
-	if n == 0 || d.err != nil {
-		return nil
-	}
-	if n > uint64(len(d.buf)) { // each entry is ≥2 bytes
-		d.err = errTruncatedRecord
-		return nil
-	}
-	m := make(map[string]string, n)
-	for i := uint64(0); i < n; i++ {
-		k := d.str()
-		m[k] = d.str()
-	}
-	return m
 }

@@ -437,7 +437,13 @@ func (s *Store) Has(id VertexID) bool {
 
 // CollectBefore garbage-collects versions that ended strictly before the
 // watermark (§4.5): property and edge versions whose Deleted precedes it,
-// and vertex incarnations deleted before it. Returns the number of objects
+// and vertex incarnations deleted before it. "Before" is the pointwise
+// test (core.Timestamp.PointwiseLT), not happens-before: the watermark is
+// a synthetic PointwiseMin combination whose owner identity is arbitrary,
+// and Compare's identity short-circuit could spuriously report a strictly
+// dominated version as Equal and keep it forever — observed when a pinned
+// snapshot freezes a gatekeeper's report at a vector that collides with a
+// committed transaction's (owner, counter). Returns the number of objects
 // removed.
 func (s *Store) CollectBefore(watermark core.Timestamp) int {
 	s.mu.Lock()
@@ -446,13 +452,13 @@ func (s *Store) CollectBefore(watermark core.Timestamp) int {
 	for vid, ch := range s.vertices {
 		kept := ch.incarnations[:0]
 		for _, v := range ch.incarnations {
-			if !v.Deleted.Zero() && v.Deleted.Compare(watermark) == core.Before {
+			if !v.Deleted.Zero() && v.Deleted.PointwiseLT(watermark) {
 				removed += 1 + len(v.Out)
 				continue
 			}
 			v.Props, removed = gcProps(v.Props, watermark, removed)
 			for eid, e := range v.Out {
-				if !e.Deleted.Zero() && e.Deleted.Compare(watermark) == core.Before {
+				if !e.Deleted.Zero() && e.Deleted.PointwiseLT(watermark) {
 					delete(v.Out, eid)
 					removed++
 					continue
@@ -472,7 +478,7 @@ func (s *Store) CollectBefore(watermark core.Timestamp) int {
 func gcProps(props []Property, wm core.Timestamp, removed int) ([]Property, int) {
 	out := props[:0]
 	for _, p := range props {
-		if !p.Deleted.Zero() && p.Deleted.Compare(wm) == core.Before {
+		if !p.Deleted.Zero() && p.Deleted.PointwiseLT(wm) {
 			removed++
 			continue
 		}

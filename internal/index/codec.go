@@ -1,0 +1,121 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"weaver/internal/binenc"
+	"weaver/internal/core"
+	"weaver/internal/graph"
+)
+
+// Posting bundles cross a shard boundary during vertex migration (the
+// in-process cluster passes the same bytes a distributed deployment would
+// ship), so they use the repo's standard length-prefixed binary framing —
+// the shared primitives and their defensive decoding guards live in
+// internal/binenc; see graph/codec.go for the format rationale.
+
+const (
+	postingsMagic   = 0xD9
+	postingsVersion = 2 // v2: per-vertex chains + incarnation lifetimes
+)
+
+// EncodePostings serializes a detached index bundle.
+func EncodePostings(p Postings) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, postingsMagic, postingsVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Keys)))
+	for key, chains := range p.Keys {
+		buf = binenc.AppendStr(buf, key)
+		buf = binary.AppendUvarint(buf, uint64(len(chains)))
+		for v, ch := range chains {
+			buf = binenc.AppendStr(buf, string(v))
+			buf = binary.AppendUvarint(buf, uint64(len(ch)))
+			for i := range ch {
+				buf = binenc.AppendStr(buf, ch[i].Value)
+				buf = binary.AppendUvarint(buf, ch[i].Ord)
+				buf = binenc.AppendTS(buf, ch[i].Created)
+				buf = binenc.AppendTS(buf, ch[i].Deleted)
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Lives)))
+	for v, ls := range p.Lives {
+		buf = binenc.AppendStr(buf, string(v))
+		buf = binary.AppendUvarint(buf, uint64(len(ls)))
+		for i := range ls {
+			buf = binary.AppendUvarint(buf, ls[i].Ord)
+			buf = binenc.AppendTS(buf, ls[i].Created)
+			buf = binenc.AppendTS(buf, ls[i].Deleted)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Loaded)))
+	for v, ts := range p.Loaded {
+		buf = binenc.AppendStr(buf, string(v))
+		buf = binenc.AppendTS(buf, ts)
+	}
+	return buf
+}
+
+// DecodePostings decodes a bundle produced by EncodePostings.
+func DecodePostings(data []byte) (Postings, error) {
+	var p Postings
+	if len(data) < 2 || data[0] != postingsMagic {
+		return p, errors.New("index: not a posting bundle")
+	}
+	if data[1] != postingsVersion {
+		return p, fmt.Errorf("index: posting codec version %d unsupported", data[1])
+	}
+	d := binenc.Decoder{Buf: data[2:]}
+	if nk := d.Count(1); nk > 0 {
+		p.Keys = make(map[string]map[graph.VertexID][]Posting, nk)
+		for i := uint64(0); i < nk && d.Err == nil; i++ {
+			key := d.Str()
+			nv := d.Count(2)
+			chains := make(map[graph.VertexID][]Posting, nv)
+			for j := uint64(0); j < nv && d.Err == nil; j++ {
+				v := graph.VertexID(d.Str())
+				np := d.Count(4) // value + ord + two timestamps ≥ 4 bytes
+				ch := make([]Posting, 0, np)
+				for k := uint64(0); k < np && d.Err == nil; k++ {
+					var post Posting
+					post.Value = d.Str()
+					post.Ord = d.Uvarint()
+					post.Created = d.TS()
+					post.Deleted = d.TS()
+					ch = append(ch, post)
+				}
+				chains[v] = ch
+			}
+			p.Keys[key] = chains
+		}
+	}
+	if nl := d.Count(2); nl > 0 && d.Err == nil {
+		p.Lives = make(map[graph.VertexID][]Lifetime, nl)
+		for i := uint64(0); i < nl && d.Err == nil; i++ {
+			v := graph.VertexID(d.Str())
+			nls := d.Count(3) // ord + two timestamps ≥ 3 bytes
+			ls := make([]Lifetime, 0, nls)
+			for j := uint64(0); j < nls && d.Err == nil; j++ {
+				var l Lifetime
+				l.Ord = d.Uvarint()
+				l.Created = d.TS()
+				l.Deleted = d.TS()
+				ls = append(ls, l)
+			}
+			p.Lives[v] = ls
+		}
+	}
+	if nl := d.Count(2); nl > 0 && d.Err == nil {
+		p.Loaded = make(map[graph.VertexID]core.Timestamp, nl)
+		for i := uint64(0); i < nl && d.Err == nil; i++ {
+			v := graph.VertexID(d.Str())
+			p.Loaded[v] = d.TS()
+		}
+	}
+	if d.Err != nil {
+		return Postings{}, fmt.Errorf("index: decode postings: %w", d.Err)
+	}
+	return p, nil
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"fmt"
+
+	"weaver/internal/graph"
+	"weaver/internal/index"
+	"weaver/internal/wire"
+)
+
+// Secondary-index queries (internal/index). A lookup is a read at a
+// snapshot, so it obeys exactly the node-program rules: the shard delays
+// evaluation until every transaction at or before the read timestamp has
+// applied (§4.1 readiness), refuses timestamps behind the GC watermark
+// with a typed error (§4.5 — never wrong data), and builds its visibility
+// predicate from the same write-before-read refinement programs use.
+// Lookups run on the event loop between apply batches, so they never
+// observe a half-applied transaction.
+
+// runReadyLookups answers every pending index lookup whose read timestamp
+// the shard has fully passed.
+func (s *Shard) runReadyLookups() {
+	if len(s.lookups) == 0 {
+		return
+	}
+	remaining := s.lookups[:0]
+	for _, m := range s.lookups {
+		if !s.progReady(m.ReadTS) {
+			remaining = append(remaining, m)
+			continue
+		}
+		s.answerLookup(m)
+	}
+	s.lookups = remaining
+}
+
+// answerLookup evaluates one ready lookup and replies to its coordinator.
+func (s *Shard) answerLookup(m wire.IndexLookup) {
+	s.indexLookups.Add(1)
+	if s.snapshotStale(m.ReadTS) {
+		s.ep.Send(m.Reply, wire.IndexResult{
+			QID:     m.QID,
+			Shard:   s.cfg.ID,
+			ErrCode: wire.ErrCodeStaleSnapshot,
+			Err: fmt.Sprintf("shard %d: lookup timestamp %v behind GC watermark %v",
+				s.cfg.ID, m.ReadTS, s.gcWM),
+		})
+		return
+	}
+	before := s.visible(m.ReadTS)
+	var (
+		ids     []graph.VertexID
+		indexed bool
+	)
+	if m.Range {
+		ids, indexed = s.idx.LookupRange(m.Key, m.Lo, m.Hi, before)
+	} else {
+		ids, indexed = s.idx.Lookup(m.Key, m.Value, before)
+	}
+	if !indexed {
+		s.ep.Send(m.Reply, wire.IndexResult{
+			QID:     m.QID,
+			Shard:   s.cfg.ID,
+			ErrCode: wire.ErrCodeNoIndex,
+			Err:     fmt.Sprintf("shard %d: no index on property key %q", s.cfg.ID, m.Key),
+		})
+		return
+	}
+	s.ep.Send(m.Reply, wire.IndexResult{QID: m.QID, Shard: s.cfg.ID, Vertices: ids})
+}
+
+// DetachIndex removes and returns the encoded posting history of the
+// given vertices — the index half of vertex migration, the counterpart of
+// graph.Store.Detach. The bundle crosses the shard boundary in the wire
+// codec (index.EncodePostings) so the in-process cluster exercises the
+// same bytes a distributed deployment would ship. Returns nil when the
+// shard has no indexes or the vertices carry no postings. Callers must
+// hold the migration fence (gatekeepers paused, applies quiesced, read
+// queries drained) on both shards.
+func (s *Shard) DetachIndex(ids []graph.VertexID) []byte {
+	p := s.idx.Detach(ids)
+	if p.Empty() {
+		return nil
+	}
+	return index.EncodePostings(p)
+}
+
+// AttachIndex installs a posting bundle produced by another shard's
+// DetachIndex. The same fence contract as DetachIndex applies.
+func (s *Shard) AttachIndex(data []byte) error {
+	if len(data) == 0 || s.idx == nil {
+		return nil
+	}
+	p, err := index.DecodePostings(data)
+	if err != nil {
+		return fmt.Errorf("shard %d: attach index postings: %w", s.cfg.ID, err)
+	}
+	s.idx.Attach(p)
+	return nil
+}

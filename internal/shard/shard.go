@@ -38,6 +38,7 @@ import (
 
 	"weaver/internal/core"
 	"weaver/internal/graph"
+	"weaver/internal/index"
 	"weaver/internal/kvstore"
 	"weaver/internal/nodeprog"
 	"weaver/internal/oracle"
@@ -80,6 +81,10 @@ type Config struct {
 	// parallel batch may contain, bounding the latency of the batch
 	// barrier. 0 = 256. Ignored when Workers <= 1.
 	MaxBatch int
+	// Indexes declares the secondary property indexes this shard
+	// maintains over its partition (internal/index); must be identical
+	// across all shards of a cluster. Empty = no indexes.
+	Indexes []index.Spec
 }
 
 // Pager reads vertex records for demand paging; satisfied by
@@ -106,6 +111,8 @@ type Stats struct {
 	VersionsLive   uint64
 	PagedIn        uint64
 	PagedOut       uint64
+	IndexLookups   uint64 // secondary-index queries answered by this shard
+	IndexPostings  uint64 // resident index postings (live + superseded)
 }
 
 type queued struct {
@@ -127,6 +134,7 @@ type Shard struct {
 	cfg Config
 	ep  transport.Endpoint
 	g   *graph.Store
+	idx *index.Index
 	orc oracle.Client
 	reg *nodeprog.Registry
 	dir partition.Directory
@@ -135,6 +143,7 @@ type Shard struct {
 	queues     [][]queued
 	frontier   []core.Timestamp
 	pending    []*hopBatch
+	lookups    []wire.IndexLookup
 	progState  map[core.ID]map[graph.VertexID][]byte
 	finished   map[core.ID]struct{}
 	finishedQ  []core.ID // FIFO for bounding the finished set
@@ -171,6 +180,7 @@ type Shard struct {
 	readRefines    atomic.Uint64
 	cacheHits      atomic.Uint64
 	gcCollected    atomic.Uint64
+	indexLookups   atomic.Uint64
 }
 
 // New wires a shard server. Call Start to launch its event loop.
@@ -188,6 +198,7 @@ func New(cfg Config, ep transport.Endpoint, orc oracle.Client, reg *nodeprog.Reg
 		cfg:        cfg,
 		ep:         ep,
 		g:          graph.NewStore(),
+		idx:        index.New(cfg.Indexes),
 		orc:        orc,
 		reg:        reg,
 		dir:        dir,
@@ -242,6 +253,8 @@ func (s *Shard) Stats() Stats {
 		VersionsLive:   uint64(s.g.NumVertices()),
 		PagedIn:        s.pagedIn.Load(),
 		PagedOut:       s.pagedOut.Load(),
+		IndexLookups:   s.indexLookups.Load(),
+		IndexPostings:  uint64(s.idx.NumPostings()),
 	}
 }
 
@@ -263,6 +276,7 @@ func (s *Shard) Recover(kv kvstore.Backing) int {
 		recs = append(recs, rec)
 	})
 	s.g.LoadAll(recs)
+	s.indexRecords(recs)
 	return len(recs)
 }
 
@@ -280,7 +294,19 @@ func (s *Shard) Install(recs []*graph.VertexRecord) int {
 		}
 	}
 	s.g.LoadAll(mine)
+	s.indexRecords(mine)
 	return len(mine)
+}
+
+// indexRecords rebuilds secondary-index state from installed records —
+// the index half of recovery, bulk ingest, and migration fallback.
+func (s *Shard) indexRecords(recs []*graph.VertexRecord) {
+	if s.idx == nil {
+		return
+	}
+	for _, rec := range recs {
+		s.idx.InsertRecord(rec)
+	}
 }
 
 // Start launches the event loop, the apply worker pool (Config.Workers),
@@ -461,6 +487,8 @@ func (s *Shard) handle(msg transport.Message) {
 				s.finishedQ = s.finishedQ[1:]
 			}
 		}
+	case wire.IndexLookup:
+		s.lookups = append(s.lookups, m)
 	case wire.GCReport:
 		if !s.cfg.Retain {
 			s.gcReports[m.GK] = m.TS
@@ -542,6 +570,7 @@ func (s *Shard) pump() {
 	}
 	acks.flush(s)
 	s.runReadyProgs()
+	s.runReadyLookups()
 }
 
 // executable reports whether the transaction at ts (head of queue hgk) is
@@ -609,6 +638,11 @@ func (s *Shard) apply(q queued) {
 		n := s.g.ApplyTx(q.ops, q.ts, func(op graph.Op, err error) {
 			s.reportApplyErr(op, q.ts, err)
 		})
+		// The secondary indexes consume the same delta stream under the
+		// same footprint contract: same-vertex operations arrive in
+		// timestamp order, disjoint-vertex ones may arrive concurrently
+		// from the worker pool (the index commutes them).
+		s.idx.ApplyTx(q.ops, q.ts)
 		s.opsApplied.Add(uint64(n))
 		s.txExecuted.Add(1)
 		return
@@ -621,6 +655,10 @@ func (s *Shard) apply(q queued) {
 		}
 		if op.Kind != graph.OpCreateVertex && !s.g.Has(op.Vertex) {
 			if s.pageIn(op.Vertex) {
+				// The paged-in record already includes this
+				// transaction's effects; InsertRecord inside pageIn
+				// reconciled the index to it, and the index's own
+				// record watermark suppresses the skipped operations.
 				if paged == nil {
 					paged = make(map[graph.VertexID]bool)
 				}
@@ -634,6 +672,7 @@ func (s *Shard) apply(q queued) {
 		} else {
 			s.opsApplied.Add(1)
 		}
+		s.idx.Apply(op, q.ts)
 	}
 	s.txExecuted.Add(1)
 }
@@ -658,6 +697,7 @@ func (s *Shard) pageIn(v graph.VertexID) bool {
 		return false
 	}
 	s.g.Load(rec)
+	s.idx.InsertRecord(rec)
 	s.pagedIn.Add(1)
 	return true
 }
@@ -693,13 +733,43 @@ func (s *Shard) maybeGC() {
 	// the SAME ratcheted value as the gate — collecting at a fresher wm
 	// than the gate checks would let a read pass the gate and then miss
 	// just-collected versions (wrong data instead of ErrStaleSnapshot).
-	if s.gcWM.Zero() || s.gcWM.Compare(wm) == core.Before {
+	// (Pointwise, like the collection test itself: the combined watermark
+	// is a synthetic vector whose owner identity can collide with a real
+	// timestamp's, making happens-before Compare report a strict pointwise
+	// advance as Equal/Concurrent and freeze the ratchet.)
+	advanced := false
+	if s.gcWM.Zero() || s.gcWM.PointwiseLT(wm) {
 		s.gcWM = wm
+		advanced = true
 	}
-	n := s.g.CollectBefore(s.gcWM)
-	s.gcCollected.Add(uint64(n))
+	if advanced {
+		n := s.g.CollectBefore(s.gcWM)
+		// Postings prune at the SAME ratcheted watermark as graph
+		// versions: the staleness gate that protects graph reads
+		// protects index lookups identically, so a lookup that passes
+		// it always finds its postings.
+		n += s.idx.CollectBefore(s.gcWM)
+		s.gcCollected.Add(uint64(n))
+	}
+	// When the watermark did NOT advance — a pinned snapshot or the
+	// retention window is holding it — the version sweeps above are
+	// skipped: nothing can have become collectable since the last pass (a
+	// version is collectable only if its lifetime ended below the
+	// watermark, and versions only ever die at fresh timestamps ABOVE a
+	// frozen watermark). Without the skip, every report round under a
+	// held pin rescans the ever-growing version history and the event
+	// loop starves the apply path. Eviction and the cache bound below
+	// still run every round: a vertex whose writes all predate the frozen
+	// watermark can still become evictable (the cap may only now be
+	// exceeded, or an earlier pass hit its limit), and the cache check is
+	// O(1).
+	//
 	// Demand paging, eviction half (§6.1): shed cold vertices above the
 	// memory cap; they page back in from the backing store on access.
+	// Index postings are deliberately NOT evicted: lookups answer for
+	// paged-out vertices without faulting them in, so the index must keep
+	// its (GC-bounded) posting chains resident — Config.MaxVertices caps
+	// graph version history only.
 	if s.cfg.MaxVertices > 0 && s.pager != nil {
 		if over := s.g.NumVertices() - s.cfg.MaxVertices; over > 0 {
 			evicted := s.g.EvictBefore(s.gcWM, over)

@@ -91,6 +91,8 @@ func RegisterGob() {
 	gob.Register(ProgHops{})
 	gob.Register(ProgDelta{})
 	gob.Register(ProgFinish{})
+	gob.Register(IndexLookup{})
+	gob.Register(IndexResult{})
 	gob.Register(GCReport{})
 	gob.Register(ShardGCReport{})
 	gob.Register(EpochChange{})

@@ -98,9 +98,9 @@ type Hop struct {
 	Origin  int
 }
 
-// Program error codes carried by ProgDelta.ErrCode, letting the
-// coordinator surface typed errors across the wire (error strings alone
-// cannot round-trip errors.Is).
+// Program error codes carried by ProgDelta.ErrCode and
+// IndexResult.ErrCode, letting the coordinator surface typed errors across
+// the wire (error strings alone cannot round-trip errors.Is).
 const (
 	// ErrCodeNone means Err (if non-empty) is an untyped program failure.
 	ErrCodeNone = 0
@@ -110,7 +110,42 @@ const (
 	// return wrong data (§4.5). Pin the snapshot or widen
 	// HistoryRetention to keep reads this old alive.
 	ErrCodeStaleSnapshot = 1
+	// ErrCodeNoIndex means the lookup named a property key no secondary
+	// index is configured for (weaver.Config.Indexes).
+	ErrCodeNoIndex = 2
 )
+
+// IndexLookup asks one shard to evaluate a secondary-index query at a
+// snapshot: the scatter half of a cluster-wide index lookup. The
+// coordinating gatekeeper fans the same message out to every shard and
+// merges the IndexResult replies. ReadTS is the timestamp the lookup reads
+// at — the shard delays evaluation until every transaction at or before it
+// has applied (exactly the node-program readiness rule, §4.1), so a lookup
+// can never observe a phantom from a concurrent writer, and rejects
+// timestamps behind the GC watermark with ErrCodeStaleSnapshot.
+type IndexLookup struct {
+	QID    core.ID
+	ReadTS core.Timestamp
+	// Key is the indexed property key. Equality lookups carry Value;
+	// range scans set Range and carry [Lo, Hi] (inclusive; empty Lo/Hi =
+	// unbounded).
+	Key    string
+	Value  string
+	Lo, Hi string
+	Range  bool
+	Reply  transport.Addr
+}
+
+// IndexResult is one shard's half of a scatter-gather index lookup: the
+// vertices homed on that shard whose indexed property matched at the read
+// timestamp, or a typed error.
+type IndexResult struct {
+	QID      core.ID
+	Shard    int
+	Vertices []graph.VertexID
+	Err      string
+	ErrCode  int
+}
 
 // ProgDelta reports execution progress from a shard to the coordinator:
 // ConsumedIDs are the hops executed locally (with their whole local

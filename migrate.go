@@ -278,21 +278,38 @@ func (c *Cluster) MigrateBatch(moves []Move) (int, error) {
 	// Vertices with no resident chain (paged out) fall back to a record
 	// install, exactly as recovery would load them.
 	perTarget := make(map[int][]*graph.VertexRecord)
+	// Index postings move with the version chains, batched per
+	// (source, target) pair: one detach scan serves every vertex moving
+	// between that pair, and the bundle crosses in its wire codec. The
+	// detach runs BEFORE the record installs below, so the fallback
+	// install (paged-out vertices) reconciles the target index from the
+	// record instead of duplicating postings.
+	type lane struct{ src, dst int }
+	byLane := make(map[lane][]graph.VertexID)
 	for _, st := range stage {
 		if hist, resident := shards[st.source].Graph().Detach(st.rec.ID); resident {
 			shards[st.rec.Shard].Graph().Attach(hist)
 		} else {
 			perTarget[st.rec.Shard] = append(perTarget[st.rec.Shard], st.rec)
 		}
+		byLane[lane{st.source, st.rec.Shard}] = append(byLane[lane{st.source, st.rec.Shard}], st.rec.ID)
 		shards[st.source].ForgetHeat(st.rec.ID)
 		mapped.Assign(st.rec.ID, st.rec.Shard)
+	}
+	var idxErrs []error
+	for ln, ids := range byLane {
+		if data := shards[ln.src].DetachIndex(ids); len(data) > 0 {
+			if err := shards[ln.dst].AttachIndex(data); err != nil {
+				idxErrs = append(idxErrs, err)
+			}
+		}
 	}
 	for target, recs := range perTarget {
 		shards[target].Install(recs)
 	}
 
 	c.recordMoves(len(stage), skipped)
-	return len(stage), nil
+	return len(stage), errors.Join(idxErrs...)
 }
 
 // recordPause folds one stop-the-world window into the stats histogram.

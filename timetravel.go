@@ -156,6 +156,47 @@ func (r *ReadClient) CountEdges(id VertexID) (int, error) {
 	return n, err
 }
 
+// errZeroReadTS rejects historical reads at the zero timestamp: to the
+// gatekeeper a zero read timestamp means "mint a fresh snapshot", so
+// passing an uninitialized timestamp through would silently return
+// CURRENT data to a caller who asked for the past.
+var errZeroReadTS = errors.New("weaver: historical read at zero timestamp")
+
+// Lookup returns every vertex whose indexed property key equaled value as
+// of the pinned timestamp — the historical counterpart of Client.Lookup.
+// The result is exactly what Lookup would have returned at that moment:
+// postings are versioned like graph objects, survive migration, and are
+// held against GC by pins and Config.HistoryRetention; behind the
+// watermark the query fails with ErrStaleSnapshot, never wrong data.
+func (r *ReadClient) Lookup(key, value string) ([]VertexID, error) {
+	if r.ts.Zero() {
+		return nil, errZeroReadTS
+	}
+	ids, _, err := r.cl.gk().Lookup(r.ts, key, value)
+	return ids, err
+}
+
+// LookupRange is Lookup over the value interval [lo, hi] (lexicographic,
+// inclusive; empty lo/hi = unbounded) as of the pinned timestamp.
+func (r *ReadClient) LookupRange(key, lo, hi string) ([]VertexID, error) {
+	if r.ts.Zero() {
+		return nil, errZeroReadTS
+	}
+	ids, _, err := r.cl.gk().LookupRange(r.ts, key, lo, hi)
+	return ids, err
+}
+
+// RunProgramWhere launches a node program starting at every vertex whose
+// indexed property key equaled value as of the pinned timestamp; the
+// lookup and the program read the same snapshot.
+func (r *ReadClient) RunProgramWhere(name string, params []byte, key, value string) ([][]byte, error) {
+	start, err := r.Lookup(key, value)
+	if err != nil || len(start) == 0 {
+		return nil, err
+	}
+	return r.RunProgram(name, params, start...)
+}
+
 // Traverse runs the Fig 3 BFS over the graph as of the pinned timestamp.
 func (r *ReadClient) Traverse(start VertexID, propKey, propValue string, maxDepth int) ([]VertexID, error) {
 	params := nodeprog.Encode(nodeprog.TraverseParams{PropKey: propKey, PropValue: propValue, MaxDepth: maxDepth})

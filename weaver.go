@@ -86,6 +86,23 @@
 // wall-clock window; reads behind the GC watermark fail with
 // ErrStaleSnapshot, never wrong data. See timetravel.go.
 //
+// # Secondary indexes
+//
+// Config.Indexes declares property keys each shard indexes with a
+// multiversion inverted index (internal/index): postings carry
+// create/delete timestamps exactly like graph versions, so
+// Client.Lookup/LookupRange answer "all vertices where key=value" (or a
+// value range) as a strictly serializable snapshot read — and, through
+// Client.At, as of any retained past timestamp. RunProgramWhere starts a
+// node program from an index selector at one consistent snapshot. Index
+// maintenance rides the transaction apply path under the same
+// footprint-conflict contract; GC trims postings at the watermark that
+// trims graph history, migration moves them with the version chains, and
+// bulk ingest and recovery rebuild them from records. Postings stay
+// resident when demand paging evicts a cold vertex's graph history —
+// lookups answer for paged-out vertices without faulting them in, so
+// Config.MaxShardVertices bounds graph memory only.
+//
 // Quick start:
 //
 //	c, _ := weaver.Open(weaver.Config{Gatekeepers: 2, Shards: 2})
@@ -113,6 +130,7 @@ import (
 	"weaver/internal/core"
 	"weaver/internal/gatekeeper"
 	"weaver/internal/graph"
+	"weaver/internal/index"
 	"weaver/internal/kvstore"
 	"weaver/internal/nodeprog"
 	"weaver/internal/oracle"
@@ -141,6 +159,17 @@ var ErrConflict = gatekeeper.ErrConflict
 // ErrInvalid wraps semantic transaction errors (creating an existing
 // vertex, deleting a missing edge, …). Retrying will not help.
 var ErrInvalid = gatekeeper.ErrInvalid
+
+// ErrNoIndex is returned by Lookup/LookupRange/RunProgramWhere when the
+// named property key has no secondary index (Config.Indexes). Match with
+// errors.Is.
+var ErrNoIndex = gatekeeper.ErrNoIndex
+
+// IndexSpec declares one secondary property index (Config.Indexes): a
+// per-shard multiversion inverted index over the named vertex property
+// key, serving equality lookups and ordered range scans at any retained
+// snapshot. See Client.Lookup and the package documentation.
+type IndexSpec = index.Spec
 
 // Config describes an in-process Weaver cluster.
 type Config struct {
@@ -234,6 +263,17 @@ type Config struct {
 	// (e.g. 0.1 lets each shard hold 10% above the balanced share).
 	// 0 = 0.1.
 	RebalanceSlack float64
+	// Indexes declares secondary property indexes: for each listed
+	// vertex-property key, every shard maintains a multiversion inverted
+	// index over its partition, kept exactly in step with the graph by
+	// the transaction apply path. Client.Lookup/LookupRange answer
+	// equality and ordered range queries over these keys at a fresh
+	// snapshot (strictly serializable — never a phantom from a
+	// concurrent writer) or, via Client.At, at any retained past
+	// timestamp; RunProgramWhere starts node programs from an index
+	// selector. Index postings are garbage-collected, migrated, paged,
+	// bulk-loaded and recovered alongside the graph versions they mirror.
+	Indexes []IndexSpec
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -245,6 +285,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Retain {
 		c.GCPeriod = 0
+	}
+	seen := make(map[string]bool, len(c.Indexes))
+	for _, sp := range c.Indexes {
+		if sp.Key == "" {
+			return c, errors.New("weaver: Config.Indexes: empty property key")
+		}
+		if seen[sp.Key] {
+			return c, fmt.Errorf("weaver: Config.Indexes: duplicate key %q", sp.Key)
+		}
+		seen[sp.Key] = true
 	}
 	return c, nil
 }
@@ -414,6 +464,7 @@ func (c *Cluster) newShard(i int, epoch uint64) *shard.Shard {
 		MaxVertices:     c.cfg.MaxShardVertices,
 		Workers:         c.cfg.ShardWorkers,
 		MaxBatch:        c.cfg.ShardMaxBatch,
+		Indexes:         c.cfg.Indexes,
 	}, ep, c.orc, c.reg, c.dir)
 	if c.cfg.MaxShardVertices > 0 {
 		sh.SetPager(c.kv)
