@@ -7,10 +7,15 @@
 //	weaver-bench -scale 4 -duration 2s    # larger workloads, longer runs
 //
 // Experiments: fig7 fig8 fig9a fig9b fig10 fig11 fig12 fig13 fig14
-// ablation-partition ablation-tau rebalance timetravel index
+// ablation-partition ablation-tau rebalance timetravel index wire
+//
+// -json-out FILE additionally writes the structured results of the
+// selected experiments as a JSON object keyed by experiment name (used by
+// CI to record wire-codec before/after numbers, e.g. BENCH_6.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +40,7 @@ func main() {
 		maxShard = flag.Int("max-shards", 8, "shard sweep bound (fig13)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		wan      = flag.Duration("bcinfo-wan", 0, "simulated Blockchain.info WAN delay (paper notes ~13ms)")
+		jsonOut  = flag.String("json-out", "", "write structured results of the selected experiments to this JSON file")
 	)
 	flag.Parse()
 
@@ -51,6 +57,7 @@ func main() {
 	o.Seed = *seed
 	o.BCInfoWAN = *wan
 
+	jsonResults := map[string]any{}
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		if *exp != "all" && *exp != name {
 			return
@@ -64,6 +71,7 @@ func main() {
 		}
 		fmt.Println(res)
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		jsonResults[name] = res
 	}
 
 	run("table1", func() (fmt.Stringer, error) { return table1(), nil })
@@ -86,6 +94,20 @@ func main() {
 	run("rebalance", func() (fmt.Stringer, error) { return rebalanceScenario(o) })
 	run("timetravel", func() (fmt.Stringer, error) { return experiments.TimeTravel(o) })
 	run("index", func() (fmt.Stringer, error) { return experiments.Index(o) })
+	run("wire", func() (fmt.Stringer, error) { return experiments.Wire(o) })
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(jsonResults, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 }
 
 // rebalanceScenario runs the §4.6 online repartitioning experiment

@@ -26,6 +26,17 @@ import (
 // exceeded the remaining bytes) mid-structure.
 var ErrTruncated = errors.New("binenc: truncated input")
 
+// AppendUvarint appends one unsigned varint (re-exported so codec files
+// read uniformly against this package).
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendVarint appends one signed varint.
+func AppendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
 // AppendStr appends a uvarint length prefix and the string bytes.
 func AppendStr(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
@@ -50,6 +61,19 @@ func AppendTS(buf []byte, ts core.Timestamp) []byte {
 		buf = binary.AppendUvarint(buf, c)
 	}
 	return buf
+}
+
+// AppendBytes appends a uvarint length prefix and the raw bytes.
+func AppendBytes(buf []byte, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// AppendID appends a compact timestamp identity.
+func AppendID(buf []byte, id core.ID) []byte {
+	buf = binary.AppendUvarint(buf, id.Epoch)
+	buf = binary.AppendVarint(buf, int64(id.Owner))
+	return binary.AppendUvarint(buf, id.Counter)
 }
 
 // AppendStrMap appends a count prefix and the map's key/value strings.
@@ -128,6 +152,33 @@ func (d *Decoder) Str() string {
 	return s
 }
 
+// Bytes reads a length-prefixed byte slice written by AppendBytes. The
+// returned slice is a copy (decoders read from reused buffers); empty
+// slices decode as nil.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if n == 0 || d.Err != nil {
+		return nil
+	}
+	if uint64(len(d.Buf)) < n {
+		d.Err = ErrTruncated
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.Buf[:n])
+	d.Buf = d.Buf[n:]
+	return b
+}
+
+// ID reads a timestamp identity written by AppendID.
+func (d *Decoder) ID() core.ID {
+	var id core.ID
+	id.Epoch = d.Uvarint()
+	id.Owner = int32(d.Varint())
+	id.Counter = d.Uvarint()
+	return id
+}
+
 // Bool reads one byte as a boolean.
 func (d *Decoder) Bool() bool {
 	if d.Err != nil {
@@ -140,6 +191,20 @@ func (d *Decoder) Bool() bool {
 	b := d.Buf[0]
 	d.Buf = d.Buf[1:]
 	return b != 0
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.Err != nil {
+		return 0
+	}
+	if len(d.Buf) < 1 {
+		d.Err = ErrTruncated
+		return 0
+	}
+	b := d.Buf[0]
+	d.Buf = d.Buf[1:]
+	return b
 }
 
 // TS reads a timestamp written by AppendTS.

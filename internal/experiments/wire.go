@@ -1,0 +1,205 @@
+// Wire-path experiment: the cost of message serialization on the
+// gatekeeper↔shard fabric. The paper's protocol puts a message exchange on
+// every transaction commit and every node-program hop (§4.2), so codec
+// cost is a direct tax on cluster throughput. This experiment records the
+// before (gob, the seed's wire format) and after (hand-rolled binary
+// frames) numbers: per-message micro-benchmarks and a saturated-cluster
+// comparison with the frame codec forced onto every fabric send.
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+	"time"
+
+	"weaver"
+	"weaver/internal/bench"
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/transport"
+	"weaver/internal/wire"
+	"weaver/internal/workload"
+)
+
+// WireMicroRow is one micro-benchmark measurement.
+type WireMicroRow struct {
+	Message     string  `json:"message"`
+	Path        string  `json:"path"`  // encode | decode
+	Codec       string  `json:"codec"` // frame | gob
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	WireBytes   int     `json:"wire_bytes"` // encoded size of the sample message
+}
+
+// WireClusterRow is one saturated-cluster throughput measurement.
+type WireClusterRow struct {
+	Mode       string  `json:"mode"` // direct | frames
+	Throughput float64 `json:"ops_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// WireResult is the §4.2 serialization experiment output (BENCH_6.json).
+type WireResult struct {
+	Title   string           `json:"title"`
+	Micro   []WireMicroRow   `json:"micro"`
+	Cluster []WireClusterRow `json:"cluster"`
+}
+
+func (r WireResult) String() string {
+	mt := bench.NewTable("message", "path", "codec", "ns/op", "B/op", "allocs/op", "wire bytes")
+	for _, m := range r.Micro {
+		mt.Row(m.Message, m.Path, m.Codec, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.WireBytes)
+	}
+	ct := bench.NewTable("fabric mode", "ops/s", "p50 µs", "p99 µs")
+	for _, c := range r.Cluster {
+		ct.Row(c.Mode, c.Throughput, c.P50Micros, c.P99Micros)
+	}
+	return r.Title + "\n" + mt.String() + "\nsaturated cluster (commit + 2-hop program mix)\n" + ct.String()
+}
+
+// wireSampleTx is a representative 4-op commit payload.
+func wireSampleTx() wire.TxForward {
+	mkts := func(c ...uint64) core.Timestamp { return core.Timestamp{Epoch: 1, Owner: 1, Clock: c} }
+	return wire.TxForward{TS: mkts(7, 9, 4), Seq: 42, Ops: []graph.Op{
+		{Kind: graph.OpCreateVertex, Vertex: "user/100232"},
+		{Kind: graph.OpCreateEdge, Vertex: "user/100232", Edge: "e1.gk0.42#0", To: "user/55011"},
+		{Kind: graph.OpSetEdgeProp, Vertex: "user/100232", Edge: "e1.gk0.42#0", Key: "kind", Value: "follows"},
+		{Kind: graph.OpSetVertexProp, Vertex: "user/100232", Key: "city", Value: "ithaca"},
+	}}
+}
+
+// wireSampleHops is a representative 2-hop program batch.
+func wireSampleHops() wire.ProgHops {
+	mkts := func(c ...uint64) core.Timestamp { return core.Timestamp{Epoch: 1, Owner: 0, Clock: c} }
+	return wire.ProgHops{QID: mkts(5, 3, 1).ID(), TS: mkts(5, 3, 1), ReadTS: mkts(2, 1, 1),
+		Coordinator: "gk/0", Hops: []wire.Hop{
+			{ID: 1, Vertex: "user/100232", Program: "bfs", Params: []byte("depth=3"), Origin: -1},
+			{ID: 2, Vertex: "user/55011", Program: "bfs", Origin: 1},
+		}}
+}
+
+// wireMicro measures one (message, codec) pair on both paths using the
+// stdlib benchmark driver so ns/op and allocs/op come from the same
+// machinery as `go test -bench`.
+func wireMicro(name string, msg any) []WireMicroRow {
+	encFrame, err := transport.AppendPayload(nil, msg)
+	if err != nil {
+		panic(err) // sample messages always encode
+	}
+	var gb bytes.Buffer
+	p := msg
+	if err := gob.NewEncoder(&gb).Encode(&p); err != nil {
+		panic(err)
+	}
+	gobBytes := gb.Bytes()
+
+	row := func(path, codec string, wireLen int, r testing.BenchmarkResult) WireMicroRow {
+		return WireMicroRow{Message: name, Path: path, Codec: codec, WireBytes: wireLen,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+	}
+	return []WireMicroRow{
+		row("encode", "frame", len(encFrame), testing.Benchmark(func(b *testing.B) {
+			buf := make([]byte, 0, 4096)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf, err = transport.AppendPayload(buf[:0], msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		row("encode", "gob", len(gobBytes), testing.Benchmark(func(b *testing.B) {
+			var bb bytes.Buffer
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bb.Reset()
+				payload := msg
+				if err := gob.NewEncoder(&bb).Encode(&payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		row("decode", "frame", len(encFrame), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := transport.DecodePayload(encFrame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		row("decode", "gob", len(gobBytes), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var v any
+				if err := gob.NewDecoder(bytes.NewReader(gobBytes)).Decode(&v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+	}
+}
+
+// wireCluster saturates one cluster configuration with a commit-plus-
+// traversal mix and reports throughput and tail latency.
+func wireCluster(o Options, frames bool) (WireClusterRow, error) {
+	mode := "direct"
+	if frames {
+		mode = "frames"
+	}
+	cfg := o.weaverConfig(o.Gatekeepers, o.Shards)
+	cfg.WireFrames = frames
+	c, err := weaver.Open(cfg)
+	if err != nil {
+		return WireClusterRow{}, err
+	}
+	defer c.Close()
+	g := workload.Social(o.SocialV/4, o.SocialM, o.Seed)
+	if err := LoadSocialWeaver(c, g); err != nil {
+		return WireClusterRow{}, err
+	}
+	clients := make([]*weaver.Client, o.Clients)
+	for i := range clients {
+		clients[i] = c.Client()
+	}
+	qps, lat, errs := bench.Throughput(o.Clients, o.Duration, func(ci, iter int) error {
+		cl := clients[ci]
+		v := g.Vertices[(ci*7919+iter)%len(g.Vertices)]
+		if iter%4 == 0 { // 25% writes: framed TxForward/TxApplied
+			_, err := cl.RunTx(func(tx *weaver.Tx) error {
+				tx.SetProperty(v, "seen", fmt.Sprint(iter))
+				return nil
+			})
+			return err
+		}
+		_, err := cl.CountEdges(v) // node program: framed ProgStart/ProgDelta
+		return err
+	})
+	if errs > 0 {
+		return WireClusterRow{}, fmt.Errorf("%s fabric: %d op errors", mode, errs)
+	}
+	return WireClusterRow{Mode: mode, Throughput: qps,
+		P50Micros: float64(lat.Percentile(50)) / float64(time.Microsecond),
+		P99Micros: float64(lat.Percentile(99)) / float64(time.Microsecond)}, nil
+}
+
+// Wire runs the serialization experiment: micro codec comparison plus the
+// saturated-cluster sanity check that framing every fabric message does
+// not cost cluster throughput.
+func Wire(o Options) (WireResult, error) {
+	wire.RegisterGob() // the gob baseline needs registered types
+	res := WireResult{Title: "Wire path (§4.2): hand-rolled binary frames vs gob (seed wire format)"}
+	res.Micro = append(res.Micro, wireMicro("TxForward/4ops", wireSampleTx())...)
+	res.Micro = append(res.Micro, wireMicro("ProgHops/2hops", wireSampleHops())...)
+	for _, frames := range []bool{false, true} {
+		row, err := wireCluster(o, frames)
+		if err != nil {
+			return res, err
+		}
+		res.Cluster = append(res.Cluster, row)
+	}
+	return res, nil
+}

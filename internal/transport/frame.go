@@ -1,0 +1,207 @@
+// Binary wire framing for the transport layer.
+//
+// Every message crossing a TCP connection (and, with Fabric.WithWireFrames,
+// the in-process fabric) is one self-delimiting frame:
+//
+//	length  u32 big-endian — bytes after this field (body + crc)
+//	body:   from  (uvarint-length string)
+//	        to    (uvarint-length string)
+//	        tagged payload: 1 tag byte + codec body
+//	crc     u32 big-endian CRC-32C over body
+//
+// Tag 0 is the gob fallback owned by this package: the payload is a gob
+// stream of the interface value, so any gob-registered type still crosses
+// the wire even without a hand-rolled codec (rare messages: epoch changes,
+// future additions). Tags ≥ 1 belong to the registered FrameCodec —
+// internal/wire registers hand-rolled codecs for every high-traffic Weaver
+// message, several-fold cheaper than gob's per-message type descriptors
+// and reflection.
+//
+// Encoding appends into pooled buffers (sync.Pool) so a steady-state send
+// allocates nothing; each connection's read loop reuses one frame buffer.
+// Decoding is defensive: the length field is bounded by MaxFrame, the CRC
+// rejects corruption and torn writes, and payload decoding inherits
+// internal/binenc's sticky-error, allocation-bounded discipline.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"weaver/internal/binenc"
+)
+
+// MaxFrame bounds one wire frame (length field excluded). Frames beyond it
+// are rejected before any allocation, so a corrupt or hostile length field
+// cannot trigger a giant up-front allocation.
+const MaxFrame = 64 << 20
+
+// TagGob is the frame payload tag reserved for the gob fallback. A
+// registered FrameCodec must emit tags strictly greater than TagGob.
+const TagGob byte = 0
+
+// ErrFrameCorrupt reports a frame that failed structural validation: bad
+// length, CRC mismatch, or an undecodable payload. Connections drop on it
+// (the stream cannot be resynchronized).
+var ErrFrameCorrupt = errors.New("transport: corrupt wire frame")
+
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameCodec encodes and decodes tagged payload bodies. Append writes
+// tag + body for payloads it owns and reports ok=false for types it does
+// not hand-roll (the frame layer then falls back to gob under TagGob).
+// Decode is handed the full tag + body slice it produced. Implementations
+// must never emit TagGob and must deep-copy decoded data out of the input
+// buffer (readers reuse it).
+type FrameCodec interface {
+	Append(buf []byte, payload any) ([]byte, bool)
+	Decode(data []byte) (any, error)
+}
+
+var frameCodecMu sync.RWMutex
+var frameCodec FrameCodec
+
+// RegisterFrameCodec installs the payload codec used by every node in this
+// process. internal/wire registers Weaver's message codec from an init, so
+// importing that package is enough; the zero state (no codec) gob-encodes
+// everything. Later registrations replace earlier ones.
+func RegisterFrameCodec(c FrameCodec) {
+	frameCodecMu.Lock()
+	frameCodec = c
+	frameCodecMu.Unlock()
+}
+
+func loadFrameCodec() FrameCodec {
+	frameCodecMu.RLock()
+	c := frameCodec
+	frameCodecMu.RUnlock()
+	return c
+}
+
+// frameBufPool recycles encode buffers across sends. Buffers retain their
+// grown capacity, so steady-state traffic encodes with zero allocations.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+func getFrameBuf() *[]byte  { return frameBufPool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; frameBufPool.Put(b) }
+
+// AppendPayload appends the tagged payload encoding (tag byte + body) for
+// payload: the registered codec's hand-rolled form when it owns the type,
+// otherwise a TagGob-prefixed gob stream. On error buf is returned
+// unchanged.
+func AppendPayload(buf []byte, payload any) ([]byte, error) {
+	if c := loadFrameCodec(); c != nil {
+		if out, ok := c.Append(buf, payload); ok {
+			return out, nil
+		}
+	}
+	start := len(buf)
+	buf = append(buf, TagGob)
+	var bb bytes.Buffer
+	if err := gob.NewEncoder(&bb).Encode(&payload); err != nil {
+		return buf[:start], fmt.Errorf("transport: gob fallback encode %T: %w", payload, err)
+	}
+	return append(buf, bb.Bytes()...), nil
+}
+
+// DecodePayload decodes a tagged payload produced by AppendPayload.
+func DecodePayload(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrFrameCorrupt)
+	}
+	if data[0] == TagGob {
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&v); err != nil {
+			return nil, fmt.Errorf("%w: gob fallback: %v", ErrFrameCorrupt, err)
+		}
+		return v, nil
+	}
+	c := loadFrameCodec()
+	if c == nil {
+		return nil, fmt.Errorf("%w: tag %d with no registered frame codec", ErrFrameCorrupt, data[0])
+	}
+	v, err := c.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
+	}
+	return v, nil
+}
+
+// AppendFrame appends one complete wire frame for (from, to, payload). On
+// error buf is returned unchanged and nothing was emitted — encode errors
+// never leave a partial frame behind (unlike a failed streaming-gob
+// Encode, which poisons the whole connection).
+func AppendFrame(buf []byte, from, to Addr, payload any) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length, patched below
+	buf = binenc.AppendStr(buf, string(from))
+	buf = binenc.AppendStr(buf, string(to))
+	buf, err := AppendPayload(buf, payload)
+	if err != nil {
+		return buf[:start], err
+	}
+	body := buf[start+4:]
+	if len(body)+4 > MaxFrame {
+		return buf[:start], fmt.Errorf("transport: frame for %T exceeds MaxFrame (%d bytes)", payload, len(body)+4)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, frameCRC))
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf, nil
+}
+
+// DecodeFrame parses one frame body (everything after the length field,
+// CRC included) back into its envelope.
+func DecodeFrame(data []byte) (from, to Addr, payload any, err error) {
+	if len(data) < 4 {
+		return "", "", nil, fmt.Errorf("%w: short frame", ErrFrameCorrupt)
+	}
+	body, crcb := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, frameCRC) != binary.BigEndian.Uint32(crcb) {
+		return "", "", nil, fmt.Errorf("%w: crc mismatch", ErrFrameCorrupt)
+	}
+	d := binenc.Decoder{Buf: body}
+	from = Addr(d.Str())
+	to = Addr(d.Str())
+	if d.Err != nil {
+		return "", "", nil, fmt.Errorf("%w: envelope header: %v", ErrFrameCorrupt, d.Err)
+	}
+	payload, err = DecodePayload(d.Buf)
+	return from, to, payload, err
+}
+
+// frameReader reads frames off a byte stream, reusing one buffer across
+// frames (strings and byte slices are copied out during decoding, so the
+// buffer is free to be overwritten by the next frame).
+type frameReader struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte
+}
+
+// next reads and decodes one frame. io errors pass through (io.EOF on a
+// clean close); framing errors wrap ErrFrameCorrupt.
+func (fr *frameReader) next() (from, to Addr, payload any, err error) {
+	if _, err = io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return "", "", nil, err
+	}
+	n := binary.BigEndian.Uint32(fr.hdr[:])
+	if n < 4 || n > MaxFrame {
+		return "", "", nil, fmt.Errorf("%w: frame length %d", ErrFrameCorrupt, n)
+	}
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err = io.ReadFull(fr.r, fr.buf); err != nil {
+		return "", "", nil, err
+	}
+	return DecodeFrame(fr.buf)
+}

@@ -1,47 +1,67 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
 )
 
-// envelope frames one message on the wire.
-type envelope struct {
-	From    Addr
-	To      Addr
-	Payload any
-}
-
 // TCPNode is the multi-process fabric: one node per OS process, hosting
 // any number of local endpoints and routing remote sends over persistent
-// TCP connections with gob framing. Payload types must be registered with
-// encoding/gob (wire.RegisterGob does this for Weaver's messages).
+// TCP connections carrying binary wire frames (frame.go): length-prefixed,
+// CRC-32C-checked, with hand-rolled payload codecs for the high-traffic
+// messages (registered by internal/wire) and a gob fallback for the rest —
+// gob-fallback payload types must be registered with encoding/gob
+// (wire.RegisterGob does this for Weaver's messages).
 //
 // Routing is static: a table from logical address prefix to "host:port".
 // Routes resolve most-specific first: an exact address match, then the
 // prefix before '/' (so "gk" → coordinator host routes every gatekeeper).
+// Connections are full duplex and learned: replies flow back over the
+// connection the destination last contacted us on, so only forward paths
+// need static routes (reverse-path learning).
 type TCPNode struct {
 	mu       sync.Mutex
 	listener net.Listener
 	local    map[Addr]*mailbox
 	routes   map[string]string
 	conns    map[string]*tcpConn
-	inbound  map[net.Conn]*tcpConn
-	// learned maps sender addresses to the inbound connection they last
-	// arrived on: replies flow back over the same connection, so only
-	// forward paths need static routes (reverse-path learning).
+	inbound  map[*tcpConn]struct{}
+	// learned maps sender addresses to the connection they last arrived
+	// on (reverse-path learning).
 	learned map[Addr]*tcpConn
-	closed  bool
-	wg      sync.WaitGroup
+	// dialing tracks one in-flight dial per host so concurrent Sends to
+	// the same host coalesce on it — and, critically, so no dial ever
+	// runs under mu: one unreachable route must not stall sends to other
+	// hosts, the accept loop, or read-loop cleanup.
+	dialing map[string]*pendingDial
+	// dial opens one raw connection (net.Dial by default; tests inject
+	// blackholes and fault wrappers here).
+	dial   func(host string) (net.Conn, error)
+	closed bool
+	wg     sync.WaitGroup
 }
 
-type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+// pendingDial is the per-host in-flight dial state: waiters block on done,
+// then read c/err.
+type pendingDial struct {
+	done chan struct{}
+	c    *tcpConn
+	err  error
 }
+
+// tcpConn is one live connection. mu serializes frame writes; close is
+// idempotent — a connection is reachable from conns, inbound, and learned
+// at once, and teardown paths overlap (Send write errors, read-loop
+// cleanup, node Close).
+type tcpConn struct {
+	mu        sync.Mutex
+	c         net.Conn
+	closeOnce sync.Once
+}
+
+func (c *tcpConn) close() { c.closeOnce.Do(func() { c.c.Close() }) }
 
 // NewTCPNode listens on listen (e.g. ":7001") and routes remote addresses
 // through the given table. Keys are either full addresses ("shard/2") or
@@ -57,8 +77,10 @@ func NewTCPNode(listen string, routes map[string]string) (*TCPNode, error) {
 		local:    make(map[Addr]*mailbox),
 		routes:   make(map[string]string, len(routes)),
 		conns:    make(map[string]*tcpConn),
-		inbound:  make(map[net.Conn]*tcpConn),
+		inbound:  make(map[*tcpConn]struct{}),
 		learned:  make(map[Addr]*tcpConn),
+		dialing:  make(map[string]*pendingDial),
+		dial:     func(host string) (net.Conn, error) { return net.Dial("tcp", host) },
 	}
 	for k, v := range routes {
 		n.routes[k] = v
@@ -88,17 +110,25 @@ func (n *TCPNode) Close() {
 	}
 	n.closed = true
 	n.listener.Close()
+	conns := make([]*tcpConn, 0, len(n.conns)+len(n.inbound))
 	for _, c := range n.conns {
-		c.c.Close()
+		conns = append(conns, c)
 	}
 	for c := range n.inbound {
-		c.Close()
+		conns = append(conns, c)
 	}
+	n.conns = make(map[string]*tcpConn)
+	n.inbound = make(map[*tcpConn]struct{})
 	n.learned = make(map[Addr]*tcpConn)
 	for _, box := range n.local {
 		box.close()
 	}
 	n.mu.Unlock()
+	// Outbound connections appear in conns and may also be learned;
+	// close() is idempotent so the overlap is harmless.
+	for _, c := range conns {
+		c.close()
+	}
 	n.wg.Wait()
 }
 
@@ -109,45 +139,57 @@ func (n *TCPNode) acceptLoop() {
 		if err != nil {
 			return
 		}
+		tc := &tcpConn{c: conn}
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
-			conn.Close()
+			tc.close()
 			return
 		}
-		tc := &tcpConn{c: conn, enc: gob.NewEncoder(conn)}
-		n.inbound[conn] = tc
-		n.mu.Unlock()
+		n.inbound[tc] = struct{}{}
 		n.wg.Add(1)
-		go n.readLoop(conn, tc)
+		n.mu.Unlock()
+		go n.readLoop(tc)
 	}
 }
 
-func (n *TCPNode) readLoop(conn net.Conn, tc *tcpConn) {
-	defer n.wg.Done()
-	defer func() {
-		conn.Close()
-		n.mu.Lock()
-		delete(n.inbound, conn)
-		for addr, c := range n.learned {
-			if c == tc {
-				delete(n.learned, addr)
-			}
+// dropConn tears one connection down and removes every reference to it:
+// the host table, the inbound set, and any learned reverse paths — a dead
+// connection must not stay reachable from Send.
+func (n *TCPNode) dropConn(tc *tcpConn) {
+	n.mu.Lock()
+	for host, c := range n.conns {
+		if c == tc {
+			delete(n.conns, host)
 		}
-		n.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(conn)
+	}
+	delete(n.inbound, tc)
+	for addr, c := range n.learned {
+		if c == tc {
+			delete(n.learned, addr)
+		}
+	}
+	n.mu.Unlock()
+	tc.close()
+}
+
+func (n *TCPNode) readLoop(tc *tcpConn) {
+	defer n.wg.Done()
+	defer n.dropConn(tc)
+	fr := &frameReader{r: bufio.NewReaderSize(tc.c, 1<<16)}
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		from, to, payload, err := fr.next()
+		if err != nil {
+			// io error (peer gone) or corrupt frame: the stream cannot
+			// be resynchronized either way, drop the connection.
 			return
 		}
 		n.mu.Lock()
-		box := n.local[env.To]
-		n.learned[env.From] = tc
+		box := n.local[to]
+		n.learned[from] = tc
 		n.mu.Unlock()
 		if box != nil {
-			box.push(Message{From: env.From, Payload: env.Payload})
+			box.push(Message{From: from, Payload: payload})
 		}
 	}
 }
@@ -168,28 +210,61 @@ func (n *TCPNode) route(to Addr) (string, bool) {
 	return "", false
 }
 
+// conn returns the established connection to host, dialing one if needed.
+// The dial itself runs outside the node mutex: concurrent calls for the
+// same host coalesce on per-host pending state, and an unreachable host
+// stalls only its own callers — never sends to other hosts, the accept
+// loop, or connection cleanup.
 func (n *TCPNode) conn(host string) (*tcpConn, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if c, ok := n.conns[host]; ok {
+		n.mu.Unlock()
 		return c, nil
 	}
-	raw, err := net.Dial("tcp", host)
+	if p, ok := n.dialing[host]; ok {
+		n.mu.Unlock()
+		<-p.done
+		if p.err != nil {
+			return nil, p.err
+		}
+		return p.c, nil
+	}
+	p := &pendingDial{done: make(chan struct{})}
+	n.dialing[host] = p
+	dial := n.dial
+	n.mu.Unlock()
+
+	raw, err := dial(host)
+
+	n.mu.Lock()
+	delete(n.dialing, host)
+	if err == nil && n.closed {
+		raw.Close()
+		err = ErrClosed
+	}
 	if err != nil {
+		p.err = err
+		n.mu.Unlock()
+		close(p.done)
 		return nil, err
 	}
-	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
-	n.conns[host] = c
+	tc := &tcpConn{c: raw}
+	p.c = tc
+	n.conns[host] = tc
 	// Connections are full duplex: the peer answers requests over the
 	// same connection (reverse-path learning), so outbound connections
-	// need a read loop too.
-	n.inbound[raw] = c
+	// need a read loop too. They are tracked in conns only — readLoop
+	// and Close find them there; registering them in inbound as well
+	// would double-close them.
 	n.wg.Add(1)
-	go n.readLoop(raw, c)
-	return c, nil
+	n.mu.Unlock()
+	close(p.done)
+	go n.readLoop(tc)
+	return tc, nil
 }
 
 type tcpEndpoint struct {
@@ -231,14 +306,21 @@ func (e *tcpEndpoint) Send(to Addr, payload any) error {
 		}
 		return nil
 	}
-	// Prefer the static route; otherwise reply over the connection the
-	// destination last contacted us on.
+	// Prefer the static route; when it has no connection and the dial
+	// fails, fall back to the connection the destination last contacted
+	// us on (reverse-path learning) before surfacing the dial error —
+	// the peer may be reachable even while the routed listener is not.
 	var c *tcpConn
 	if host, ok := e.n.route(to); ok {
-		var err error
-		c, err = e.n.conn(host)
-		if err != nil {
-			return err
+		var dialErr error
+		c, dialErr = e.n.conn(host)
+		if dialErr != nil {
+			e.n.mu.Lock()
+			c = e.n.learned[to]
+			e.n.mu.Unlock()
+			if c == nil {
+				return dialErr
+			}
 		}
 	} else {
 		e.n.mu.Lock()
@@ -248,20 +330,27 @@ func (e *tcpEndpoint) Send(to Addr, payload any) error {
 			return fmt.Errorf("%w: %s", ErrUnknown, to)
 		}
 	}
-	c.mu.Lock()
-	err := c.enc.Encode(envelope{From: e.addr, To: to, Payload: payload})
-	c.mu.Unlock()
+	return e.n.send(c, e.addr, to, payload)
+}
+
+// send encodes one frame into a pooled buffer and writes it. An encode
+// error leaves the connection untouched (nothing was written); a write
+// error tears the connection down everywhere it is reachable, so the next
+// send redials (routed) or waits for the peer to reconnect (learned).
+func (n *TCPNode) send(c *tcpConn, from, to Addr, payload any) error {
+	bp := getFrameBuf()
+	buf, err := AppendFrame(*bp, from, to, payload)
 	if err != nil {
-		// Drop the broken connection; the next send redials (outbound)
-		// or waits for the peer to reconnect (learned).
-		e.n.mu.Lock()
-		for host, cur := range e.n.conns {
-			if cur == c {
-				delete(e.n.conns, host)
-			}
-		}
-		e.n.mu.Unlock()
-		c.c.Close()
+		putFrameBuf(bp)
+		return err
 	}
-	return err
+	c.mu.Lock()
+	_, werr := c.c.Write(buf)
+	c.mu.Unlock()
+	*bp = buf
+	putFrameBuf(bp)
+	if werr != nil {
+		n.dropConn(c)
+	}
+	return werr
 }

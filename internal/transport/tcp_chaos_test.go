@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestKillRedialMidStream kills the underlying socket of an established
+// connection mid-conversation. The node must notice on the next write,
+// purge the corpse, and transparently redial on a later send — no manual
+// intervention, no stuck connection state.
+func TestKillRedialMidStream(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+	epA := a.Endpoint("a")
+	epB := b.Endpoint("b")
+
+	var raw net.Conn
+	realDial := a.dial
+	a.mu.Lock()
+	a.dial = func(host string) (net.Conn, error) {
+		c, err := realDial(host)
+		if err == nil && raw == nil {
+			raw = c // keep a handle on the first socket so we can kill it
+		}
+		return c, err
+	}
+	a.mu.Unlock()
+	a.SetRoute("b", b.ListenAddr())
+
+	for i := 0; i < 5; i++ {
+		if err := epA.Send("b", fmt.Sprintf("pre-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(epB, 5, 2*time.Second); len(got) != 5 {
+		t.Fatalf("expected 5 pre-kill messages, got %d", len(got))
+	}
+
+	raw.Close() // the network "cable pull", not a graceful node shutdown
+
+	// The first send after the kill may still fail (the write races the
+	// kernel noticing the dead socket), but each failure purges the conn,
+	// so a bounded retry loop must land on a fresh dial.
+	delivered := false
+	for i := 0; i < 50 && !delivered; i++ {
+		if err := epA.Send("b", "post-kill"); err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		delivered = true
+	}
+	if !delivered {
+		t.Fatal("send never succeeded after mid-stream connection kill")
+	}
+	msgs := drain(epB, 1, 2*time.Second)
+	if len(msgs) != 1 || msgs[0].Payload != "post-kill" {
+		t.Fatalf("post-kill message not delivered: %+v", msgs)
+	}
+}
+
+// TestTornFramesDoNotPoisonNode throws torn, truncated, and corrupt
+// byte streams at a live node's listener: the node must drop each bad
+// connection without panicking, without delivering garbage, and without
+// disturbing well-formed traffic on other connections.
+func TestTornFramesDoNotPoisonNode(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+	a.SetRoute("b", b.ListenAddr())
+	epA := a.Endpoint("a")
+	epB := b.Endpoint("b")
+
+	valid, err := AppendFrame(nil, "evil", "b", "should-not-matter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := [][]byte{
+		valid[:2],                   // torn mid-length-header
+		valid[:len(valid)/2],        // torn mid-body
+		{0, 0, 0, 4, 1, 2, 3},       // length promises more than arrives
+		{0xFF, 0xFF, 0xFF, 0xFF, 0}, // absurd length field
+		append(append([]byte{}, valid...), valid[:5]...), // valid frame then torn one
+	}
+	// Corrupt CRC: flip a payload byte of an otherwise well-formed frame.
+	crcAttack := append([]byte{}, valid...)
+	crcAttack[len(crcAttack)-5] ^= 0x40
+	attacks = append(attacks, crcAttack)
+
+	for i, attack := range attacks {
+		conn, err := net.Dial("tcp", b.ListenAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(attack)
+		conn.Close()
+
+		// Well-formed traffic must be unaffected.
+		if err := epA.Send("b", fmt.Sprintf("healthy-%d", i)); err != nil {
+			t.Fatalf("attack %d broke healthy traffic: %v", i, err)
+		}
+	}
+
+	// Exactly the healthy messages arrive — attack #4's embedded valid
+	// frame is the one legitimate delivery the torn tail must not corrupt.
+	msgs := drain(epB, len(attacks)+1, 2*time.Second)
+	healthy, injected := 0, 0
+	for _, m := range msgs {
+		switch {
+		case m.From == "a":
+			healthy++
+		case m.From == "evil" && m.Payload == "should-not-matter":
+			injected++
+		default:
+			t.Fatalf("garbage delivered: %+v", m)
+		}
+	}
+	if healthy != len(attacks) || injected != 1 {
+		t.Fatalf("got %d healthy + %d injected messages, want %d + 1", healthy, injected, len(attacks))
+	}
+}
+
+// TestSlowTrickleFrame writes a valid frame one byte at a time: framing
+// must reassemble it regardless of how the bytes arrive.
+func TestSlowTrickleFrame(t *testing.T) {
+	b := newTestNode(t)
+	epB := b.Endpoint("b")
+
+	buf, err := AppendFrame(nil, "trickle", "b", "patience")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", b.ListenAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, by := range buf {
+		if _, err := conn.Write([]byte{by}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := waitMsg(t, epB, 2*time.Second); m.From != "trickle" || m.Payload != "patience" {
+		t.Fatalf("got %+v", m)
+	}
+}

@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestNode(t *testing.T) *TCPNode {
+	t.Helper()
+	n, err := NewTCPNode("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// deadHostPort returns a host:port that refuses connections: a listener
+// opened to reserve the port, then closed.
+func deadHostPort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitMsg(t *testing.T, ep Endpoint, timeout time.Duration) Message {
+	t.Helper()
+	msgs := drain(ep, 1, timeout)
+	if len(msgs) != 1 {
+		t.Fatalf("expected 1 message, got %d", len(msgs))
+	}
+	return msgs[0]
+}
+
+// TestDialDoesNotBlockNode is the regression test for the node-wide dial
+// stall: TCPNode.conn used to dial while holding the node mutex, so one
+// unreachable route wedged every Send on the node (and the accept and
+// read loops) for the whole dial timeout. Dials now run outside the lock
+// with per-host pending state: a blackholed route stalls only senders to
+// that host.
+func TestDialDoesNotBlockNode(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+
+	release := make(chan struct{})
+	var blackholeDials atomic.Int32
+	realDial := a.dial
+	a.mu.Lock()
+	a.dial = func(host string) (net.Conn, error) {
+		if host == "blackhole:1" {
+			blackholeDials.Add(1)
+			<-release // simulates an unroutable host: dial hangs
+			return nil, errors.New("blackholed")
+		}
+		return realDial(host)
+	}
+	a.mu.Unlock()
+
+	a.SetRoute("dead", "blackhole:1")
+	a.SetRoute("b", b.ListenAddr())
+	sender := a.Endpoint("a")
+	recv := b.Endpoint("b")
+
+	errc := make(chan error, 2)
+	go func() { errc <- sender.Send("dead", "into the void") }()
+	go func() { errc <- sender.Send("dead", "me too") }() // coalesces on the same pending dial
+	time.Sleep(50 * time.Millisecond)                     // let both block in the dial
+
+	// The node must stay fully usable while the blackholed dial hangs.
+	done := make(chan error, 1)
+	go func() { done <- sender.Send("b", "hello") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("send to healthy host failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send to healthy host stalled behind a blackholed dial")
+	}
+	if m := waitMsg(t, recv, 2*time.Second); m.Payload != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Fatal("send to blackholed host must surface the dial error")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("blackholed send never returned")
+		}
+	}
+	if n := blackholeDials.Load(); n != 1 {
+		t.Fatalf("concurrent sends to one host must coalesce on one dial, got %d", n)
+	}
+}
+
+// TestSendFallsBackToLearnedConn is the regression test for the
+// routed-dial failure path: Send used to fail outright when the static
+// route's dial errored, even though a learned reverse-path connection to
+// the destination was alive. Kill the routed listener mid-conversation;
+// replies must keep flowing over the learned connection.
+func TestSendFallsBackToLearnedConn(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+	epA := a.Endpoint("a")
+	epB := b.Endpoint("b")
+
+	a.SetRoute("b", b.ListenAddr())
+	// B's static route for "a" points at a listener that is already dead
+	// — the "routed listener killed mid-conversation" scenario.
+	b.SetRoute("a", deadHostPort(t))
+
+	// A opens the conversation; B learns the reverse path.
+	if err := epA.Send("b", "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if m := waitMsg(t, epB, 2*time.Second); m.Payload != "ping" {
+		t.Fatalf("got %+v", m)
+	}
+
+	// B's reply: the routed dial fails, the learned connection must win.
+	if err := epB.Send("a", "pong"); err != nil {
+		t.Fatalf("reply must fall back to the learned connection: %v", err)
+	}
+	if m := waitMsg(t, epA, 2*time.Second); m.Payload != "pong" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+// countingConn counts Close calls and can be switched to fail writes.
+type countingConn struct {
+	net.Conn
+	closes     atomic.Int32
+	failWrites atomic.Bool
+}
+
+func (c *countingConn) Close() error {
+	c.closes.Add(1)
+	return c.Conn.Close()
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	if c.failWrites.Load() {
+		return 0, errors.New("injected write failure")
+	}
+	return c.Conn.Write(b)
+}
+
+// TestOutboundConnClosedOnce is the regression test for the double-close:
+// outbound connections used to be registered in both conns and inbound,
+// so node Close closed them twice.
+func TestOutboundConnClosedOnce(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+	b.Endpoint("b")
+
+	var cc *countingConn
+	realDial := a.dial
+	a.mu.Lock()
+	a.dial = func(host string) (net.Conn, error) {
+		raw, err := realDial(host)
+		if err != nil {
+			return nil, err
+		}
+		cc = &countingConn{Conn: raw}
+		return cc, nil
+	}
+	a.mu.Unlock()
+	a.SetRoute("b", b.ListenAddr())
+
+	if err := a.Endpoint("a").Send("b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if cc == nil {
+		t.Fatal("dial never ran")
+	}
+	if n := cc.closes.Load(); n != 1 {
+		t.Fatalf("outbound connection closed %d times, want exactly 1", n)
+	}
+}
+
+// TestWriteErrorPurgesLearned is the regression test for the stale-conn
+// leak: a Send that failed used to leave the closed connection reachable
+// through learned until its read loop happened to run, so follow-up sends
+// kept picking the corpse. A write error must purge every reference.
+func TestWriteErrorPurgesLearned(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+	epA := a.Endpoint("a")
+	epB := b.Endpoint("b")
+
+	var cc *countingConn
+	realDial := a.dial
+	a.mu.Lock()
+	a.dial = func(host string) (net.Conn, error) {
+		raw, err := realDial(host)
+		if err != nil {
+			return nil, err
+		}
+		cc = &countingConn{Conn: raw}
+		return cc, nil
+	}
+	a.mu.Unlock()
+	a.SetRoute("b", b.ListenAddr())
+
+	// Round trip so A learns "b" over the outbound connection.
+	if err := epA.Send("b", "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if m := waitMsg(t, epB, 2*time.Second); m.Payload != "ping" {
+		t.Fatalf("got %+v", m)
+	}
+	if err := epB.Send("a", "pong"); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, epA, 2*time.Second)
+	a.mu.Lock()
+	_, learnedB := a.learned["b"]
+	delete(a.routes, "b") // force the learned path from here on
+	a.mu.Unlock()
+	if !learnedB {
+		t.Fatal("precondition: A must have learned a reverse path to b")
+	}
+
+	// Writes now fail while the socket stays open for reading, so the
+	// read loop gives the node no cleanup for free.
+	cc.failWrites.Store(true)
+	if err := epA.Send("b", "doomed"); err == nil {
+		t.Fatal("send over failing connection must error")
+	}
+	// The dead connection must be unreachable: no route, no learned
+	// entry, so the next send reports an unknown address rather than
+	// re-failing on the corpse.
+	if err := epA.Send("b", "after"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("stale learned connection still reachable after write error: %v", err)
+	}
+}

@@ -119,6 +119,10 @@ type Fabric struct {
 	reorderFn func() bool          // true = delay this message extra, nil = never
 	rng       *rand.Rand
 	rngMu     sync.Mutex
+
+	// wireFrames round-trips every payload through the binary frame
+	// codec (see WithWireFrames).
+	wireFrames bool
 }
 
 // NewFabric returns an empty in-process fabric.
@@ -165,6 +169,17 @@ func (f *Fabric) WithReorder(p float64, detour time.Duration) *Fabric {
 	return f
 }
 
+// WithWireFrames makes every Send encode its payload through the binary
+// wire frame codec (frame.go) into a pooled buffer and deliver the decoded
+// copy — exactly the bytes and allocations a TCP deployment would pay, and
+// the same deep-copy delivery semantics, on the in-process fabric. Tests
+// and benchmarks use it to exercise and measure the wire path end-to-end
+// without sockets. Returns the fabric for chaining.
+func (f *Fabric) WithWireFrames() *Fabric {
+	f.wireFrames = true
+	return f
+}
+
 type endpoint struct {
 	addr Addr
 	box  *mailbox
@@ -197,9 +212,27 @@ func (e *endpoint) Send(to Addr, payload any) error {
 	e.f.mu.RLock()
 	box, ok := e.f.boxes[to]
 	delayFn := e.f.delayFn
+	wireFrames := e.f.wireFrames
 	e.f.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknown, to)
+	}
+	if wireFrames {
+		// Full wire fidelity: encode the complete frame (addresses, tag,
+		// CRC) into a pooled buffer and deliver the decoded copy.
+		bp := getFrameBuf()
+		buf, err := AppendFrame(*bp, e.addr, to, payload)
+		if err != nil {
+			putFrameBuf(bp)
+			return err
+		}
+		_, _, decoded, err := DecodeFrame(buf[4:])
+		*bp = buf
+		putFrameBuf(bp)
+		if err != nil {
+			return err
+		}
+		payload = decoded
 	}
 	msg := Message{From: e.addr, Payload: payload}
 	if delayFn != nil {

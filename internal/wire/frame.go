@@ -1,0 +1,396 @@
+package wire
+
+import (
+	"fmt"
+
+	"weaver/internal/binenc"
+	"weaver/internal/core"
+	"weaver/internal/graph"
+	"weaver/internal/oracle"
+	"weaver/internal/transport"
+)
+
+// Hand-rolled payload codecs for every high-traffic wire message, plugged
+// into the transport's binary frame layer (transport/frame.go) from init.
+// Weaver's refinable-timestamp protocol makes each commit and program hop
+// a gatekeeper↔shard message, so serialization sits directly on the
+// critical path: gob pays a reflective walk plus per-message type
+// descriptors there, while these codecs append varints and
+// length-prefixed strings into a caller-supplied (pooled) buffer and
+// decode with internal/binenc's defensive, allocation-bounded cursor.
+// Messages without a codec here (epoch reconfiguration, future types)
+// ride the transport's gob fallback under transport.TagGob — correctness
+// never depends on a type being listed, only speed.
+//
+// Tag values are part of the wire format: never reuse or renumber them,
+// only append. transport.TagGob (0) is reserved.
+const (
+	tagTxForward byte = iota + 1
+	tagNop
+	tagTxApplied
+	tagAnnounce
+	tagProgStart
+	tagProgHops
+	tagProgDelta
+	tagProgFinish
+	tagIndexLookup
+	tagIndexResult
+	tagGCReport
+	tagShardGCReport
+	tagKVReq
+	tagKVResp
+	tagOracleReq
+	tagOracleResp
+	tagHeartbeat
+)
+
+// frameCodec implements transport.FrameCodec over the message set above.
+type frameCodec struct{}
+
+func init() { transport.RegisterFrameCodec(frameCodec{}) }
+
+// Append encodes payloads this package hand-rolls; ok=false hands
+// everything else to the transport's gob fallback.
+func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
+	switch m := payload.(type) {
+	case TxForward:
+		buf = append(buf, tagTxForward)
+		buf = binenc.AppendTS(buf, m.TS)
+		buf = binenc.AppendUvarint(buf, m.Seq)
+		buf = appendOps(buf, m.Ops)
+	case Nop:
+		buf = append(buf, tagNop)
+		buf = binenc.AppendTS(buf, m.TS)
+		buf = binenc.AppendUvarint(buf, m.Seq)
+	case TxApplied:
+		buf = append(buf, tagTxApplied)
+		buf = binenc.AppendTS(buf, m.TS)
+		buf = binenc.AppendVarint(buf, int64(m.Shard))
+		buf = binenc.AppendVarint(buf, int64(m.Count))
+	case Announce:
+		buf = append(buf, tagAnnounce)
+		buf = binenc.AppendTS(buf, m.TS)
+	case ProgStart:
+		buf = append(buf, tagProgStart)
+		buf = binenc.AppendID(buf, m.QID)
+		buf = binenc.AppendTS(buf, m.TS)
+		buf = binenc.AppendTS(buf, m.ReadTS)
+		buf = binenc.AppendStr(buf, m.Prog)
+		buf = binenc.AppendBytes(buf, m.Params)
+		buf = appendHops(buf, m.Hops)
+		buf = binenc.AppendStr(buf, string(m.Coordinator))
+	case ProgHops:
+		buf = append(buf, tagProgHops)
+		buf = binenc.AppendID(buf, m.QID)
+		buf = binenc.AppendTS(buf, m.TS)
+		buf = binenc.AppendTS(buf, m.ReadTS)
+		buf = binenc.AppendStr(buf, string(m.Coordinator))
+		buf = appendHops(buf, m.Hops)
+	case ProgDelta:
+		buf = append(buf, tagProgDelta)
+		buf = binenc.AppendID(buf, m.QID)
+		buf = appendU64s(buf, m.ConsumedIDs)
+		buf = appendU64s(buf, m.SpawnedIDs)
+		buf = binenc.AppendUvarint(buf, uint64(len(m.Results)))
+		for _, r := range m.Results {
+			buf = binenc.AppendBytes(buf, r)
+		}
+		buf = binenc.AppendStr(buf, m.Err)
+		buf = binenc.AppendVarint(buf, int64(m.ErrCode))
+	case ProgFinish:
+		buf = append(buf, tagProgFinish)
+		buf = binenc.AppendID(buf, m.QID)
+	case IndexLookup:
+		buf = append(buf, tagIndexLookup)
+		buf = binenc.AppendID(buf, m.QID)
+		buf = binenc.AppendTS(buf, m.ReadTS)
+		buf = binenc.AppendStr(buf, m.Key)
+		buf = binenc.AppendStr(buf, m.Value)
+		buf = binenc.AppendStr(buf, m.Lo)
+		buf = binenc.AppendStr(buf, m.Hi)
+		buf = binenc.AppendBool(buf, m.Range)
+		buf = binenc.AppendStr(buf, string(m.Reply))
+	case IndexResult:
+		buf = append(buf, tagIndexResult)
+		buf = binenc.AppendID(buf, m.QID)
+		buf = binenc.AppendVarint(buf, int64(m.Shard))
+		buf = binenc.AppendUvarint(buf, uint64(len(m.Vertices)))
+		for _, v := range m.Vertices {
+			buf = binenc.AppendStr(buf, string(v))
+		}
+		buf = binenc.AppendStr(buf, m.Err)
+		buf = binenc.AppendVarint(buf, int64(m.ErrCode))
+	case GCReport:
+		buf = append(buf, tagGCReport)
+		buf = binenc.AppendVarint(buf, int64(m.GK))
+		buf = binenc.AppendTS(buf, m.TS)
+		buf = binenc.AppendTS(buf, m.OracleTS)
+	case ShardGCReport:
+		buf = append(buf, tagShardGCReport)
+		buf = binenc.AppendVarint(buf, int64(m.Shard))
+		buf = binenc.AppendTS(buf, m.TS)
+	case KVReq:
+		buf = append(buf, tagKVReq)
+		buf = binenc.AppendUvarint(buf, m.ID)
+		buf = append(buf, byte(m.Op))
+		buf = binenc.AppendUvarint(buf, m.TxID)
+		buf = binenc.AppendStr(buf, m.Key)
+		buf = binenc.AppendBytes(buf, m.Value)
+		buf = binenc.AppendStr(buf, m.Prefix)
+	case KVResp:
+		buf = append(buf, tagKVResp)
+		buf = binenc.AppendUvarint(buf, m.ID)
+		buf = binenc.AppendBytes(buf, m.Value)
+		buf = binenc.AppendUvarint(buf, m.Version)
+		buf = binenc.AppendBool(buf, m.OK)
+		buf = binenc.AppendUvarint(buf, m.TxID)
+		buf = binenc.AppendStr(buf, m.Err)
+		buf = binenc.AppendUvarint(buf, uint64(len(m.Keys)))
+		for _, k := range m.Keys {
+			buf = binenc.AppendStr(buf, k)
+		}
+		buf = binenc.AppendUvarint(buf, uint64(len(m.Vals)))
+		for _, v := range m.Vals {
+			buf = binenc.AppendBytes(buf, v)
+		}
+	case OracleReq:
+		buf = append(buf, tagOracleReq)
+		buf = binenc.AppendUvarint(buf, m.ID)
+		buf = append(buf, byte(m.Op))
+		buf = appendEvent(buf, m.A)
+		buf = appendEvent(buf, m.B)
+		buf = binenc.AppendVarint(buf, int64(m.Prefer))
+		buf = binenc.AppendTS(buf, m.WM)
+	case OracleResp:
+		buf = append(buf, tagOracleResp)
+		buf = binenc.AppendUvarint(buf, m.ID)
+		buf = binenc.AppendVarint(buf, int64(m.Order))
+		buf = binenc.AppendStr(buf, m.Err)
+		for _, v := range [...]uint64{
+			m.Stats.Queries, m.Stats.Assigns, m.Stats.Established,
+			m.Stats.CacheHits, m.Stats.VClockHits, m.Stats.Transitive,
+			m.Stats.Events, m.Stats.GCCollected, m.Stats.CycleRefused,
+		} {
+			buf = binenc.AppendUvarint(buf, v)
+		}
+	case Heartbeat:
+		buf = append(buf, tagHeartbeat)
+		buf = binenc.AppendStr(buf, string(m.From))
+	default:
+		return buf, false
+	}
+	return buf, true
+}
+
+// Decode decodes a tag+body produced by Append. Trailing bytes are an
+// error: a frame carries exactly one message, so leftovers mean
+// corruption the CRC happened to miss or a framing bug.
+func (frameCodec) Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wire: empty payload")
+	}
+	tag := data[0]
+	d := &binenc.Decoder{Buf: data[1:]}
+	var v any
+	switch tag {
+	case tagTxForward:
+		m := TxForward{TS: d.TS(), Seq: d.Uvarint(), Ops: decodeOps(d)}
+		v = m
+	case tagNop:
+		v = Nop{TS: d.TS(), Seq: d.Uvarint()}
+	case tagTxApplied:
+		v = TxApplied{TS: d.TS(), Shard: int(d.Varint()), Count: int(d.Varint())}
+	case tagAnnounce:
+		v = Announce{TS: d.TS()}
+	case tagProgStart:
+		v = ProgStart{
+			QID: d.ID(), TS: d.TS(), ReadTS: d.TS(),
+			Prog: d.Str(), Params: d.Bytes(), Hops: decodeHops(d),
+			Coordinator: transport.Addr(d.Str()),
+		}
+	case tagProgHops:
+		v = ProgHops{
+			QID: d.ID(), TS: d.TS(), ReadTS: d.TS(),
+			Coordinator: transport.Addr(d.Str()), Hops: decodeHops(d),
+		}
+	case tagProgDelta:
+		m := ProgDelta{QID: d.ID(), ConsumedIDs: decodeU64s(d), SpawnedIDs: decodeU64s(d)}
+		if n := d.Count(1); n > 0 && d.Err == nil {
+			m.Results = make([][]byte, 0, n)
+			for i := uint64(0); i < n && d.Err == nil; i++ {
+				m.Results = append(m.Results, d.Bytes())
+			}
+		}
+		m.Err = d.Str()
+		m.ErrCode = int(d.Varint())
+		v = m
+	case tagProgFinish:
+		v = ProgFinish{QID: d.ID()}
+	case tagIndexLookup:
+		v = IndexLookup{
+			QID: d.ID(), ReadTS: d.TS(), Key: d.Str(), Value: d.Str(),
+			Lo: d.Str(), Hi: d.Str(), Range: d.Bool(),
+			Reply: transport.Addr(d.Str()),
+		}
+	case tagIndexResult:
+		m := IndexResult{QID: d.ID(), Shard: int(d.Varint())}
+		if n := d.Count(1); n > 0 && d.Err == nil {
+			m.Vertices = make([]graph.VertexID, 0, n)
+			for i := uint64(0); i < n && d.Err == nil; i++ {
+				m.Vertices = append(m.Vertices, graph.VertexID(d.Str()))
+			}
+		}
+		m.Err = d.Str()
+		m.ErrCode = int(d.Varint())
+		v = m
+	case tagGCReport:
+		v = GCReport{GK: int(d.Varint()), TS: d.TS(), OracleTS: d.TS()}
+	case tagShardGCReport:
+		v = ShardGCReport{Shard: int(d.Varint()), TS: d.TS()}
+	case tagKVReq:
+		v = KVReq{
+			ID: d.Uvarint(), Op: KVOp(d.Byte()), TxID: d.Uvarint(),
+			Key: d.Str(), Value: d.Bytes(), Prefix: d.Str(),
+		}
+	case tagKVResp:
+		m := KVResp{
+			ID: d.Uvarint(), Value: d.Bytes(), Version: d.Uvarint(),
+			OK: d.Bool(), TxID: d.Uvarint(), Err: d.Str(),
+		}
+		if n := d.Count(1); n > 0 && d.Err == nil {
+			m.Keys = make([]string, 0, n)
+			for i := uint64(0); i < n && d.Err == nil; i++ {
+				m.Keys = append(m.Keys, d.Str())
+			}
+		}
+		if n := d.Count(1); n > 0 && d.Err == nil {
+			m.Vals = make([][]byte, 0, n)
+			for i := uint64(0); i < n && d.Err == nil; i++ {
+				m.Vals = append(m.Vals, d.Bytes())
+			}
+		}
+		v = m
+	case tagOracleReq:
+		v = OracleReq{
+			ID: d.Uvarint(), Op: OracleOp(d.Byte()),
+			A: decodeEvent(d), B: decodeEvent(d),
+			Prefer: core.Order(d.Varint()), WM: d.TS(),
+		}
+	case tagOracleResp:
+		m := OracleResp{ID: d.Uvarint(), Order: core.Order(d.Varint()), Err: d.Str()}
+		for _, p := range [...]*uint64{
+			&m.Stats.Queries, &m.Stats.Assigns, &m.Stats.Established,
+			&m.Stats.CacheHits, &m.Stats.VClockHits, &m.Stats.Transitive,
+			&m.Stats.Events, &m.Stats.GCCollected, &m.Stats.CycleRefused,
+		} {
+			*p = d.Uvarint()
+		}
+		v = m
+	case tagHeartbeat:
+		v = Heartbeat{From: transport.Addr(d.Str())}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame tag %d", tag)
+	}
+	if d.Err != nil {
+		return nil, fmt.Errorf("wire: decode tag %d: %w", tag, d.Err)
+	}
+	if len(d.Buf) != 0 {
+		return nil, fmt.Errorf("wire: decode tag %d: %d trailing bytes", tag, len(d.Buf))
+	}
+	return v, nil
+}
+
+func appendOps(buf []byte, ops []graph.Op) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		buf = append(buf, byte(op.Kind))
+		buf = binenc.AppendStr(buf, string(op.Vertex))
+		buf = binenc.AppendStr(buf, string(op.Edge))
+		buf = binenc.AppendStr(buf, string(op.To))
+		buf = binenc.AppendStr(buf, op.Key)
+		buf = binenc.AppendStr(buf, op.Value)
+	}
+	return buf
+}
+
+func decodeOps(d *binenc.Decoder) []graph.Op {
+	// Each op is ≥6 bytes (kind + five length prefixes): the count guard
+	// keeps a corrupt header from pre-sizing a giant slice.
+	n := d.Count(6)
+	if n == 0 || d.Err != nil {
+		return nil
+	}
+	ops := make([]graph.Op, 0, n)
+	for i := uint64(0); i < n && d.Err == nil; i++ {
+		ops = append(ops, graph.Op{
+			Kind:   graph.OpKind(d.Byte()),
+			Vertex: graph.VertexID(d.Str()),
+			Edge:   graph.EdgeID(d.Str()),
+			To:     graph.VertexID(d.Str()),
+			Key:    d.Str(),
+			Value:  d.Str(),
+		})
+	}
+	return ops
+}
+
+func appendHops(buf []byte, hops []Hop) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(len(hops)))
+	for i := range hops {
+		h := &hops[i]
+		buf = binenc.AppendUvarint(buf, h.ID)
+		buf = binenc.AppendStr(buf, string(h.Vertex))
+		buf = binenc.AppendStr(buf, h.Program)
+		buf = binenc.AppendBytes(buf, h.Params)
+		buf = binenc.AppendVarint(buf, int64(h.Origin))
+	}
+	return buf
+}
+
+func decodeHops(d *binenc.Decoder) []Hop {
+	n := d.Count(5) // ≥5 bytes per hop: id + three prefixes + origin
+	if n == 0 || d.Err != nil {
+		return nil
+	}
+	hops := make([]Hop, 0, n)
+	for i := uint64(0); i < n && d.Err == nil; i++ {
+		hops = append(hops, Hop{
+			ID:      d.Uvarint(),
+			Vertex:  graph.VertexID(d.Str()),
+			Program: d.Str(),
+			Params:  d.Bytes(),
+			Origin:  int(d.Varint()),
+		})
+	}
+	return hops
+}
+
+func appendU64s(buf []byte, vs []uint64) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(len(vs)))
+	for _, v := range vs {
+		buf = binenc.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+func decodeU64s(d *binenc.Decoder) []uint64 {
+	n := d.Count(1)
+	if n == 0 || d.Err != nil {
+		return nil
+	}
+	vs := make([]uint64, 0, n)
+	for i := uint64(0); i < n && d.Err == nil; i++ {
+		vs = append(vs, d.Uvarint())
+	}
+	return vs
+}
+
+func appendEvent(buf []byte, e oracle.Event) []byte {
+	buf = binenc.AppendID(buf, e.ID)
+	return binenc.AppendTS(buf, e.TS)
+}
+
+func decodeEvent(d *binenc.Decoder) oracle.Event {
+	return oracle.Event{ID: d.ID(), TS: d.TS()}
+}

@@ -81,7 +81,11 @@ type OracleResp struct {
 }
 
 // RegisterGob registers every message that may cross a TCP connection.
-// Call once per process before using transport.TCPNode.
+// Call once per process before using transport.TCPNode. High-traffic
+// messages normally cross as hand-rolled binary frames (frame.go) and
+// never touch gob, but the fallback frame type (transport.TagGob) needs
+// these registrations for the remaining ones — epoch reconfiguration —
+// and for any message a future node sends before growing a codec.
 func RegisterGob() {
 	gob.Register(TxForward{})
 	gob.Register(TxApplied{})

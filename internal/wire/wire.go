@@ -1,6 +1,9 @@
 // Package wire defines the messages exchanged between Weaver servers over
 // the transport fabric. Payloads are plain structs: the in-process fabric
-// passes them by value, the TCP fabric gob-encodes them.
+// passes them by value; over TCP (and with weaver.Config.WireFrames) they
+// cross as binary frames with hand-rolled codecs for every high-traffic
+// message (frame.go, registered with the transport from an init here) and
+// a gob fallback for the rest (RegisterGob).
 package wire
 
 import (

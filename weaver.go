@@ -137,6 +137,7 @@ import (
 	"weaver/internal/partition"
 	"weaver/internal/shard"
 	"weaver/internal/transport"
+	"weaver/internal/wire"
 )
 
 // Re-exported identifier types; applications use these to name graph
@@ -220,6 +221,13 @@ type Config struct {
 	// NetDelayMin/NetDelayMax inject uniform random latency into every
 	// message, simulating a network (tests and experiments).
 	NetDelayMin, NetDelayMax time.Duration
+	// WireFrames round-trips every fabric message through the binary
+	// wire frame codec (internal/transport frame layer): each send pays
+	// exactly the encode/decode a TCP deployment would, and receivers
+	// get deep copies rather than shared references — full wire
+	// fidelity in-process. Tests and benchmarks use it to exercise and
+	// measure the serialization hot path.
+	WireFrames bool
 	// HeartbeatTimeout, when positive, runs the cluster manager (§4.3):
 	// servers send heartbeats and are automatically recovered after this
 	// much silence. Zero disables fault tolerance machinery.
@@ -332,6 +340,12 @@ func Open(cfg Config) (*Cluster, error) {
 	c.fabric = transport.NewFabric()
 	if cfg.NetDelayMax > 0 {
 		c.fabric.WithDelay(cfg.NetDelayMin, cfg.NetDelayMax)
+	}
+	if cfg.WireFrames {
+		// Rare messages (epoch reconfiguration) cross under the gob
+		// fallback frame type and need their types registered.
+		wire.RegisterGob()
+		c.fabric.WithWireFrames()
 	}
 	if cfg.WALPath != "" {
 		durable, err := kvstore.NewDurableOptions(cfg.WALPath, kvstore.DurableOptions{
