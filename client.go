@@ -48,6 +48,7 @@ func (cl *Client) Begin() *Tx {
 // with jittered exponential backoff on ErrConflict (up to 64 attempts).
 // The transaction function must be idempotent — it may run multiple times.
 func (cl *Client) RunTx(fn func(*Tx) error) (CommitInfo, error) {
+	t0 := time.Now()
 	var lastErr error
 	backoff := 50 * time.Microsecond
 	for attempt := 0; attempt < 64; attempt++ {
@@ -57,11 +58,13 @@ func (cl *Client) RunTx(fn func(*Tx) error) (CommitInfo, error) {
 		}
 		info, err := tx.Commit()
 		if err == nil {
+			cl.c.clientTxDur.Since(t0)
 			return info, nil
 		}
 		if !errors.Is(err, ErrConflict) {
 			return CommitInfo{}, err
 		}
+		cl.c.clientTxRetries.Inc()
 		lastErr = err
 		time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + backoff/2)
 		if backoff < 10*time.Millisecond {

@@ -8,6 +8,7 @@
 //
 // Experiments: fig7 fig8 fig9a fig9b fig10 fig11 fig12 fig13 fig14
 // ablation-partition ablation-tau rebalance timetravel index wire
+// metrics-overhead
 //
 // -json-out FILE additionally writes the structured results of the
 // selected experiments as a JSON object keyed by experiment name (used by
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment to run (all, fig7..fig14, ablation-partition, ablation-tau)")
+		exp      = flag.String("experiment", "all", "experiment to run (all, fig7..fig14, ablation-partition, ablation-tau, wire, metrics-overhead, ...)")
 		scale    = flag.Float64("scale", 1.0, "workload scale multiplier")
 		duration = flag.Duration("duration", 800*time.Millisecond, "measurement window per throughput point")
 		clients  = flag.Int("clients", 24, "concurrent clients")
@@ -95,6 +96,7 @@ func main() {
 	run("timetravel", func() (fmt.Stringer, error) { return experiments.TimeTravel(o) })
 	run("index", func() (fmt.Stringer, error) { return experiments.Index(o) })
 	run("wire", func() (fmt.Stringer, error) { return experiments.Wire(o) })
+	run("metrics-overhead", func() (fmt.Stringer, error) { return experiments.MetricsOverhead(o) })
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(jsonResults, "", "  ")

@@ -21,9 +21,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +39,7 @@ import (
 	"weaver/internal/index"
 	"weaver/internal/kvstore"
 	"weaver/internal/nodeprog"
+	"weaver/internal/obs"
 	"weaver/internal/oracle"
 	"weaver/internal/partition"
 	"weaver/internal/remote"
@@ -60,16 +64,38 @@ func main() {
 		oracleReps = flag.Int("oracle-replicas", 1, "chain replication factor for the oracle (role=store)")
 		workers    = flag.Int("workers", 0, "apply worker-pool size for conflict-aware parallel execution (role=shard; 0 or 1 = serial)")
 		indexKeys  = flag.String("index", "", "comma-separated vertex property keys to index (give the SAME list to every shard; role=demo also smokes a Lookup)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the live metrics surface on this host:port (/metrics Prometheus text, /debug/traces slow-op JSON, /debug/pprof)")
+		traceSample = flag.Int("trace-sample", 0, "trace one in N transactions end-to-end (0 = default 64; 1 = every transaction)")
+		stopTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "max time for graceful shutdown before exiting nonzero")
 	)
 	flag.Parse()
 	wire.RegisterGob()
+
+	metrics := obs.New(obs.Config{TraceSample: *traceSample})
 
 	node, err := transport.NewTCPNode(*listen, nil)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	defer node.Close()
+	node.Instrument(transport.WireMetrics{
+		EncodedBytes: metrics.Counter("weaver_wire_encoded_bytes_total"),
+		DecodedBytes: metrics.Counter("weaver_wire_decoded_bytes_total"),
+		Frames:       metrics.Counter("weaver_wire_frames_total"),
+	})
 	log.Printf("weaverd role=%s id=%d listening on %s", *role, *id, node.ListenAddr())
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: obs.Handler(metrics)}
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	// Routing: the store node hosts kv+oracle; shard/gatekeeper nodes are
 	// enumerated; client/server response addresses route by prefix.
@@ -97,12 +123,15 @@ func main() {
 			if err != nil {
 				log.Fatalf("open store: %v", err)
 			}
+			st.InstrumentWAL(
+				metrics.LatencyHistogram("weaver_wal_fsync_seconds"),
+				metrics.SizeHistogram("weaver_wal_group_commit_txns"),
+			)
 		} else {
 			st = kvstore.New()
 		}
 		kvSrv := remote.NewKVServer(node.Endpoint("kv"), st)
 		kvSrv.Start()
-		defer kvSrv.Stop()
 		var orc oracle.Client
 		if *oracleReps > 1 {
 			orc = oracle.NewReplicated(*oracleReps)
@@ -111,26 +140,27 @@ func main() {
 		}
 		orcSrv := remote.NewOracleServer(node.Endpoint("oracle"), orc)
 		orcSrv.Start()
-		defer orcSrv.Stop()
 		log.Printf("store ready (wal=%q oracle-replicas=%d)", *wal, *oracleReps)
-		waitForSignal()
+		shutdownOnSignal(node, metricsSrv, *stopTimeout, func() {
+			orcSrv.Stop()
+			kvSrv.Stop()
+		})
 
 	case "shard":
 		orc := remote.NewOracleClient(node.Endpoint(transport.Addr(fmt.Sprintf("shorc/%d", *id))), "oracle", 10*time.Second)
 		defer orc.Close()
 		kv := remote.NewKVClient(node.Endpoint(transport.Addr(fmt.Sprintf("shkv/%d", *id))), "kv", 10*time.Second)
 		defer kv.Close()
-		sh := shard.New(shard.Config{ID: *id, NumGatekeepers: *gks, Workers: *workers, Indexes: indexSpecs(*indexKeys)},
+		sh := shard.New(shard.Config{ID: *id, NumGatekeepers: *gks, Workers: *workers, Indexes: indexSpecs(*indexKeys), Obs: metrics},
 			node.Endpoint(transport.ShardAddr(*id)), orc, reg, dir)
 		n := sh.Recover(kv)
 		sh.Start()
-		defer sh.Stop()
 		mode := "serial apply"
 		if *workers > 1 {
 			mode = fmt.Sprintf("%d apply workers", *workers)
 		}
 		log.Printf("shard %d ready (%d vertices recovered, %s)", *id, n, mode)
-		waitForSignal()
+		shutdownOnSignal(node, metricsSrv, *stopTimeout, sh.Stop)
 
 	case "gatekeeper":
 		kv := remote.NewKVClient(node.Endpoint(transport.Addr(fmt.Sprintf("gkkv/%d", *id))), "kv", 10*time.Second)
@@ -143,11 +173,11 @@ func main() {
 			NumShards:      *shards,
 			AnnouncePeriod: *tau,
 			NopPeriod:      *nop,
+			Obs:            metrics,
 		}, node.Endpoint(transport.GatekeeperAddr(*id)), kv, orc, dir)
 		gk.Start()
-		defer gk.Stop()
 		log.Printf("gatekeeper %d ready (τ=%v nop=%v)", *id, *tau, *nop)
-		waitForSignal()
+		shutdownOnSignal(node, metricsSrv, *stopTimeout, gk.Stop)
 
 	case "demo":
 		// The demo process IS gatekeeper `id` (default 0): run it in
@@ -192,11 +222,35 @@ func indexSpecs(keys string) []index.Spec {
 	return specs
 }
 
-func waitForSignal() {
+// shutdownOnSignal blocks until SIGINT or SIGTERM, then shuts the server
+// down gracefully in dependency order: stop accepting new work (the
+// listener and the metrics endpoint), then run the role-specific stop
+// (which drains in-flight work). If the whole sequence does not finish
+// within timeout, the process exits nonzero — a hung drain must not look
+// like a clean exit to a supervisor.
+func shutdownOnSignal(node *transport.TCPNode, metricsSrv *http.Server, timeout time.Duration, stop func()) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
-	<-ch
-	log.Println("shutting down")
+	sig := <-ch
+	log.Printf("received %v, shutting down", sig)
+	done := make(chan struct{})
+	go func() {
+		if metricsSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			_ = metricsSrv.Shutdown(ctx)
+			cancel()
+		}
+		node.Close()
+		stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+		log.Println("shutdown complete")
+	case <-time.After(timeout):
+		log.Println("shutdown timed out")
+		os.Exit(1)
+	}
 }
 
 func runDemo(gk *gatekeeper.Gatekeeper, withIndex bool) {

@@ -18,6 +18,7 @@ import (
 	"weaver/internal/bench"
 	"weaver/internal/core"
 	"weaver/internal/graph"
+	"weaver/internal/obs"
 	"weaver/internal/transport"
 	"weaver/internal/wire"
 	"weaver/internal/workload"
@@ -42,11 +43,27 @@ type WireClusterRow struct {
 	P99Micros  float64 `json:"p99_us"`
 }
 
-// WireResult is the §4.2 serialization experiment output (BENCH_6.json).
+// WireStageRow is one pipeline-stage histogram from the cluster's
+// observability registry, captured at the end of the framed cluster run.
+// Latency stages report microseconds; size stages (batch/fan-out) report
+// raw units.
+type WireStageRow struct {
+	Stage string  `json:"stage"`
+	Unit  string  `json:"unit"` // us | count
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+}
+
+// WireResult is the §4.2 serialization experiment output (BENCH_6.json;
+// BENCH_7.json adds the per-stage pipeline histograms).
 type WireResult struct {
 	Title   string           `json:"title"`
 	Micro   []WireMicroRow   `json:"micro"`
 	Cluster []WireClusterRow `json:"cluster"`
+	Stages  []WireStageRow   `json:"stages"`
 }
 
 func (r WireResult) String() string {
@@ -58,7 +75,52 @@ func (r WireResult) String() string {
 	for _, c := range r.Cluster {
 		ct.Row(c.Mode, c.Throughput, c.P50Micros, c.P99Micros)
 	}
-	return r.Title + "\n" + mt.String() + "\nsaturated cluster (commit + 2-hop program mix)\n" + ct.String()
+	st := bench.NewTable("pipeline stage", "unit", "count", "p50", "p90", "p99", "mean")
+	for _, s := range r.Stages {
+		st.Row(s.Stage, s.Unit, s.Count, s.P50, s.P90, s.P99, s.Mean)
+	}
+	return r.Title + "\n" + mt.String() +
+		"\nsaturated cluster (commit + 2-hop program mix)\n" + ct.String() +
+		"\npipeline stage histograms (framed run)\n" + st.String()
+}
+
+// stageHistograms are the pipeline-stage histograms the wire experiment
+// reports, in pipeline order.
+var stageHistograms = []struct{ name, unit string }{
+	{"weaver_client_tx_seconds", "us"},
+	{"weaver_gk_queue_wait_seconds", "us"},
+	{"weaver_gk_mint_seconds", "us"},
+	{"weaver_gk_store_commit_seconds", "us"},
+	{"weaver_oracle_refine_wait_seconds", "us"},
+	{"weaver_gk_forward_seconds", "us"},
+	{"weaver_gk_commit_seconds", "us"},
+	{"weaver_shard_queue_wait_seconds", "us"},
+	{"weaver_shard_apply_seconds", "us"},
+	{"weaver_shard_batch_txns", "count"},
+	{"weaver_prog_hop_fanout", "count"},
+}
+
+// stageRows extracts the per-stage quantiles from a metrics snapshot.
+func stageRows(snap obs.Snapshot) []WireStageRow {
+	var rows []WireStageRow
+	for _, sh := range stageHistograms {
+		hs, ok := snap.Histograms[sh.name]
+		if !ok || hs.Count == 0 {
+			continue
+		}
+		scale := 1.0
+		if sh.unit == "us" {
+			scale = float64(time.Microsecond) // observations are ns
+		}
+		rows = append(rows, WireStageRow{
+			Stage: sh.name, Unit: sh.unit, Count: hs.Count,
+			P50:  float64(hs.Quantile(0.50)) / scale,
+			P90:  float64(hs.Quantile(0.90)) / scale,
+			P99:  float64(hs.Quantile(0.99)) / scale,
+			Mean: hs.Mean() / scale,
+		})
+	}
+	return rows
 }
 
 // wireSampleTx is a representative 4-op commit payload.
@@ -144,22 +206,27 @@ func wireMicro(name string, msg any) []WireMicroRow {
 }
 
 // wireCluster saturates one cluster configuration with a commit-plus-
-// traversal mix and reports throughput and tail latency.
-func wireCluster(o Options, frames bool) (WireClusterRow, error) {
+// traversal mix and reports throughput, tail latency, and (when the
+// registry is live) the per-stage pipeline histograms.
+func wireCluster(o Options, frames, disableMetrics bool) (WireClusterRow, []WireStageRow, error) {
 	mode := "direct"
 	if frames {
 		mode = "frames"
 	}
+	if disableMetrics {
+		mode += "/metrics-off"
+	}
 	cfg := o.weaverConfig(o.Gatekeepers, o.Shards)
 	cfg.WireFrames = frames
+	cfg.DisableMetrics = disableMetrics
 	c, err := weaver.Open(cfg)
 	if err != nil {
-		return WireClusterRow{}, err
+		return WireClusterRow{}, nil, err
 	}
 	defer c.Close()
 	g := workload.Social(o.SocialV/4, o.SocialM, o.Seed)
 	if err := LoadSocialWeaver(c, g); err != nil {
-		return WireClusterRow{}, err
+		return WireClusterRow{}, nil, err
 	}
 	clients := make([]*weaver.Client, o.Clients)
 	for i := range clients {
@@ -179,11 +246,12 @@ func wireCluster(o Options, frames bool) (WireClusterRow, error) {
 		return err
 	})
 	if errs > 0 {
-		return WireClusterRow{}, fmt.Errorf("%s fabric: %d op errors", mode, errs)
+		return WireClusterRow{}, nil, fmt.Errorf("%s fabric: %d op errors", mode, errs)
 	}
-	return WireClusterRow{Mode: mode, Throughput: qps,
+	row := WireClusterRow{Mode: mode, Throughput: qps,
 		P50Micros: float64(lat.Percentile(50)) / float64(time.Microsecond),
-		P99Micros: float64(lat.Percentile(99)) / float64(time.Microsecond)}, nil
+		P99Micros: float64(lat.Percentile(99)) / float64(time.Microsecond)}
+	return row, stageRows(c.Metrics()), nil
 }
 
 // Wire runs the serialization experiment: micro codec comparison plus the
@@ -195,11 +263,16 @@ func Wire(o Options) (WireResult, error) {
 	res.Micro = append(res.Micro, wireMicro("TxForward/4ops", wireSampleTx())...)
 	res.Micro = append(res.Micro, wireMicro("ProgHops/2hops", wireSampleHops())...)
 	for _, frames := range []bool{false, true} {
-		row, err := wireCluster(o, frames)
+		row, stages, err := wireCluster(o, frames, false)
 		if err != nil {
 			return res, err
 		}
 		res.Cluster = append(res.Cluster, row)
+		if frames {
+			// The framed run's registry is the full pipeline picture:
+			// commit, forward, wire transfer, shard queue/apply.
+			res.Stages = stages
+		}
 	}
 	return res, nil
 }

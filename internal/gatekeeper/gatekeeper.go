@@ -28,6 +28,7 @@ import (
 	"weaver/internal/core"
 	"weaver/internal/graph"
 	"weaver/internal/kvstore"
+	"weaver/internal/obs"
 	"weaver/internal/oracle"
 	"weaver/internal/partition"
 	"weaver/internal/transport"
@@ -108,6 +109,9 @@ type Config struct {
 	HeartbeatPeriod time.Duration
 	// ManagerAddr receives heartbeats (default "climgr").
 	ManagerAddr transport.Addr
+	// Obs is the metrics/tracing registry. Nil disables observability
+	// (every handle no-ops).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +189,7 @@ type Gatekeeper struct {
 	kv  kvstore.Backing
 	orc oracle.Client
 	dir partition.Directory
+	m   obsMetrics
 
 	mu          sync.Mutex
 	clock       *core.VectorClock
@@ -237,6 +242,7 @@ func New(cfg Config, ep transport.Endpoint, kv kvstore.Backing, orc oracle.Clien
 		kv:      kv,
 		orc:     orc,
 		dir:     dir,
+		m:       newObsMetrics(cfg.Obs),
 		clock:   core.NewVectorClock(cfg.ID, cfg.NumGatekeepers, cfg.Epoch),
 		seq:     transport.NewSequencer(),
 		progs:   make(map[core.ID]*progPending),
@@ -326,6 +332,11 @@ func (g *Gatekeeper) Stats() Stats {
 
 // ID returns the gatekeeper index.
 func (g *Gatekeeper) ID() int { return g.cfg.ID }
+
+// ApplyLag returns the number of forwarded write-sets not yet acknowledged
+// as applied — the live admission-control signal behind MaxApplyLag
+// (exported so the cluster can surface it as a gauge).
+func (g *Gatekeeper) ApplyLag() int64 { return max(g.applyPending.Load(), 0) }
 
 // Quiesce blocks until every write-set this gatekeeper has forwarded has
 // been acknowledged as applied by its shard (wire.TxApplied), or the

@@ -51,6 +51,7 @@ func (g *Gatekeeper) LookupRange(readTS core.Timestamp, key, lo, hi string) ([]g
 
 // lookup coordinates one scatter-gather index query.
 func (g *Gatekeeper) lookup(readTS core.Timestamp, req wire.IndexLookup) ([]graph.VertexID, core.Timestamp, error) {
+	tL := time.Now()
 	// The pause lock gates issuance only, never the completion wait
 	// (exactly as runProgram): lookups REGISTERED before a migration
 	// pause complete behind it — the drain counts them — while lookups
@@ -88,9 +89,13 @@ func (g *Gatekeeper) lookup(readTS core.Timestamp, req wire.IndexLookup) ([]grap
 		readTS = qts
 	}
 
+	// The gatekeeper holds the lookup trace's only completion token; shards
+	// echo the ID on their IndexResult replies.
+	tr := g.m.tracer.Start()
 	req.QID = qid
 	req.ReadTS = readTS
 	req.Reply = g.ep.Addr()
+	req.Trace = tr.ID()
 	for s := 0; s < g.cfg.NumShards; s++ {
 		if err := g.ep.Send(transport.ShardAddr(s), req); err != nil {
 			g.finishLookup(qid, p, fmt.Errorf("%w: shard %d unreachable: %v", ErrProgFailed, s, err))
@@ -108,6 +113,9 @@ func (g *Gatekeeper) lookup(readTS core.Timestamp, req wire.IndexLookup) ([]grap
 		g.finishLookup(qid, p, ErrStopped)
 		<-p.done
 	}
+	g.m.lookupDur.Since(tL)
+	tr.SpanSince("index_lookup", tL)
+	g.m.tracer.Done(tr)
 	if p.err != nil {
 		return nil, readTS, p.err
 	}

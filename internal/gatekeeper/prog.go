@@ -95,6 +95,16 @@ func (g *Gatekeeper) runProgram(readTS core.Timestamp, prog string, params []byt
 	}
 	ts, p := g.registerProg()
 	qid := ts.ID()
+	// One trace per coordinated program: the gatekeeper holds the only
+	// completion token (hop fan-out is dynamic, so shards do not Done the
+	// trace — they just echo the ID on ProgHops/ProgDelta, keeping
+	// cross-shard hops attributable).
+	tr := g.m.tracer.Start()
+	tRun := time.Now()
+	defer func() {
+		tr.SpanSince("prog_run", tRun)
+		g.m.tracer.Done(tr)
+	}()
 	if readTS.Zero() {
 		readTS = ts
 	}
@@ -128,6 +138,7 @@ func (g *Gatekeeper) runProgram(readTS core.Timestamp, prog string, params []byt
 	g.mu.Unlock()
 
 	for s, hops := range byShard {
+		g.m.hopFanout.Observe(uint64(len(hops)))
 		err := g.ep.Send(transport.ShardAddr(s), wire.ProgStart{
 			QID:         qid,
 			TS:          ts,
@@ -136,6 +147,7 @@ func (g *Gatekeeper) runProgram(readTS core.Timestamp, prog string, params []byt
 			Params:      params,
 			Hops:        hops,
 			Coordinator: g.ep.Addr(),
+			Trace:       tr.ID(),
 		})
 		if err != nil {
 			g.finishProg(qid, p, fmt.Errorf("%w: shard %d unreachable: %v", ErrProgFailed, s, err))

@@ -9,6 +9,7 @@ import (
 	"weaver/internal/core"
 	"weaver/internal/graph"
 	"weaver/internal/kvstore"
+	"weaver/internal/obs"
 	"weaver/internal/oracle"
 	"weaver/internal/transport"
 	"weaver/internal/wire"
@@ -61,6 +62,7 @@ type CommitResult struct {
 // caller re-runs it from its reads. Errors wrapping ErrInvalid are semantic
 // (e.g. create of an existing vertex) and will not succeed on retry.
 func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, error) {
+	t0 := time.Now()
 	// Admission control BEFORE taking the pause lock (a throttled commit
 	// must not block a migration batch's Pause): if the shards are more
 	// than MaxApplyLag write-sets behind, wait for them to catch up.
@@ -72,6 +74,13 @@ func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, 
 		return CommitResult{}, ErrStopped
 	default:
 	}
+	tAdmit := time.Now()
+	g.m.queueWait.Dur(tAdmit.Sub(t0))
+	// One trace per client-visible commit (sampled); retried attempts
+	// append their spans to the same trace, so a refinement retry shows up
+	// as repeated mint/execute spans rather than a separate trace.
+	tr := g.m.tracer.Start()
+	tr.Span("gk_queue", t0, tAdmit)
 	// Commit pipeline: reserve (timestamp, per-shard sequence numbers)
 	// atomically, run the backing-store transaction without holding any
 	// gatekeeper lock, then forward. The reservation guarantees that each
@@ -85,12 +94,18 @@ func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, 
 		if attempt > 0 {
 			g.txRetries.Add(1)
 		}
+		tMint := time.Now()
 		rsv := g.reserve()
+		tExec := time.Now()
+		g.m.mint.Dur(tExec.Sub(tMint))
+		tr.Span("gk_mint", tMint, tExec)
 
-		res, shardOps, retry, err := g.tryCommit(rsv.ts, reads, ops)
+		res, shardOps, retry, err := g.tryCommit(rsv.ts, reads, ops, tr)
+		g.m.store.Since(tExec)
 		if err == nil {
-			g.forward(rsv, shardOps)
+			g.forward(rsv, shardOps, tr)
 			g.txCommitted.Add(1)
+			g.m.txTotal.Since(t0)
 			return res, nil
 		}
 		g.fillReservation(rsv)
@@ -100,11 +115,13 @@ func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, 
 			} else {
 				g.txInvalid.Add(1)
 			}
+			g.m.tracer.Abort(tr)
 			return CommitResult{}, err
 		}
 		lastErr = err
 	}
 	g.txConflicts.Add(1)
+	g.m.tracer.Abort(tr)
 	return CommitResult{}, fmt.Errorf("%w: timestamp ordering failed after %d retries: %v",
 		ErrConflict, g.cfg.MaxCommitRetries, lastErr)
 }
@@ -169,7 +186,8 @@ func (g *Gatekeeper) reserve() reservation {
 // back (Quiesce); the counter must cover ALL involved shards before the
 // first send — a fast ack from shard 0 must not let the fence observe
 // zero while shard 1's write-set is still unsent.
-func (g *Gatekeeper) forward(rsv reservation, shardOps map[int][]graph.Op) {
+func (g *Gatekeeper) forward(rsv reservation, shardOps map[int][]graph.Op, tr *obs.Trace) {
+	tF := time.Now()
 	involved := int64(0)
 	for s := 0; s < g.cfg.NumShards; s++ {
 		if len(shardOps[s]) > 0 {
@@ -177,16 +195,28 @@ func (g *Gatekeeper) forward(rsv reservation, shardOps map[int][]graph.Op) {
 		}
 	}
 	g.applyPending.Add(involved)
+	// Trace bookkeeping mirrors the apply counter: every involved shard
+	// owes the trace a Done, registered BEFORE the first send — a fast
+	// shard's Done must not finish the trace while the gatekeeper still
+	// holds spans to append. Mark records the send instant the shards
+	// measure wire_transfer from.
+	tr.Expect(int(involved))
+	tr.Mark(tF)
+	trace := tr.ID()
 	for s := 0; s < g.cfg.NumShards; s++ {
 		addr := transport.ShardAddr(s)
 		if ops := shardOps[s]; len(ops) > 0 {
-			if g.ep.Send(addr, wire.TxForward{TS: rsv.ts, Seq: rsv.seqs[s], Ops: ops}) != nil {
+			if g.ep.Send(addr, wire.TxForward{TS: rsv.ts, Seq: rsv.seqs[s], Ops: ops, Trace: trace}) != nil {
 				g.applyPending.Add(-1) // undelivered: no ack will come
+				g.m.tracer.Done(tr)    // and no trace completion either
 			}
 		} else {
 			g.ep.Send(addr, wire.Nop{TS: rsv.ts, Seq: rsv.seqs[s]})
 		}
 	}
+	g.m.forward.Since(tF)
+	tr.SpanSince("gk_forward", tF)
+	g.m.tracer.Done(tr)
 }
 
 // fillReservation releases an aborted attempt's stream slots as NOPs.
@@ -199,7 +229,8 @@ func (g *Gatekeeper) fillReservation(rsv reservation) {
 // tryCommit executes one attempt at timestamp ts, returning the per-shard
 // write-sets to forward on success. retry=true means the failure is
 // timestamp-ordering related and a fresh timestamp may succeed.
-func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph.Op) (CommitResult, map[int][]graph.Op, bool, error) {
+func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph.Op, tr *obs.Trace) (CommitResult, map[int][]graph.Op, bool, error) {
+	tEnter := time.Now()
 	tx := g.kv.Begin()
 	defer tx.Abort()
 
@@ -350,7 +381,13 @@ func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph
 	// touched vertex's previous update. Fresh ticks are never
 	// vclock-before an existing timestamp, but pairs are often
 	// concurrent — those orders are registered with the timeline oracle
-	// so shard replay matches backing-store commit order.
+	// so shard replay matches backing-store commit order. The span and
+	// histogram cover the whole check, so a purely proactive pass (every
+	// pair vclock-ordered, oracle untouched) still records a near-zero
+	// oracle_refine span — the proactive/reactive counters tell the two
+	// outcomes apart.
+	tRefine := time.Now()
+	tr.Span("gk_execute", tEnter, tRefine)
 	for _, t := range recs {
 		if !t.had {
 			continue
@@ -358,7 +395,9 @@ func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph
 		switch ts.Compare(t.lastTS) {
 		case core.After:
 			// Naturally ordered.
+			g.m.proactive.Inc()
 		case core.Concurrent:
+			g.m.reactive.Inc()
 			g.oracleAssigns.Add(1)
 			if err := g.orc.AssignOrder(oracle.EventOf(t.lastTS), oracle.EventOf(ts)); err != nil {
 				return CommitResult{}, nil, true, fmt.Errorf("oracle refused order: %v", err)
@@ -369,6 +408,9 @@ func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph
 			return CommitResult{}, nil, true, fmt.Errorf("timestamp %v not after last update %v", ts, t.lastTS)
 		}
 	}
+	tStoreCommit := time.Now()
+	g.m.oracleWait.Dur(tStoreCommit.Sub(tRefine))
+	tr.Span("oracle_refine", tRefine, tStoreCommit)
 
 	// Write records back.
 	for v, t := range recs {
@@ -399,6 +441,7 @@ func (g *Gatekeeper) tryCommit(ts core.Timestamp, reads []ReadCheck, ops []graph
 		s := g.shardOf(op.Vertex, recs[op.Vertex].rec)
 		shardOps[s] = append(shardOps[s], op)
 	}
+	tr.SpanSince("gk_store_commit", tStoreCommit)
 	return CommitResult{TS: ts, Edges: edgeMap}, shardOps, false, nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"weaver/internal/obs"
 	"weaver/internal/snapshot"
 )
 
@@ -83,6 +84,11 @@ type Store struct {
 	segEntries  int
 	recovery    RecoveryStats
 	eraReplayed uint64 // WAL records replayed at open for the current era
+
+	// WAL observability handles, carried across WAL-era rotations (each
+	// Checkpoint opens a fresh log; see InstrumentWAL).
+	walFsync *obs.Histogram
+	walGroup *obs.Histogram
 
 	commits   atomic.Uint64
 	aborts    atomic.Uint64
@@ -241,6 +247,19 @@ func (s *Store) removeStaleEras() {
 // Recovery reports what NewDurable did to rebuild this store.
 func (s *Store) Recovery() RecoveryStats { return s.recovery }
 
+// InstrumentWAL installs fsync-duration and group-commit-size histograms
+// on the store's write-ahead log, surviving WAL-era rotation (Checkpoint
+// re-instruments each fresh log). No-op on a non-durable store. Call
+// before the store is shared.
+func (s *Store) InstrumentWAL(fsync, group *obs.Histogram) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.walFsync, s.walGroup = fsync, group
+	if s.wal != nil {
+		s.wal.Instrument(fsync, group)
+	}
+}
+
 // Checkpoint writes a full snapshot of the store and truncates the WAL,
 // so the next open restores snapshot + tail instead of replaying the full
 // history. Commits are frozen for the duration (commitMu); reads proceed.
@@ -290,6 +309,7 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 
 	old, oldSeq := s.wal, s.snapSeq
 	dropped := s.eraReplayed + old.Appended()
+	nw.Instrument(s.walFsync, s.walGroup)
 	s.wal = nw
 	s.snapSeq = seq
 	s.eraReplayed = 0

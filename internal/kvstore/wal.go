@@ -11,6 +11,9 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"weaver/internal/obs"
 )
 
 // Record is one committed transaction in the write-ahead log.
@@ -53,6 +56,19 @@ type WAL struct {
 	syncErr   error      // sticky: a failed sync poisons the log (under syncMu)
 
 	syncs atomic.Uint64 // fsyncs performed (group-commit effectiveness metric)
+
+	// Observability handles (nil-safe; set by Instrument before the log is
+	// shared): fsync duration and records-per-group-commit.
+	fsyncHist *obs.Histogram
+	groupHist *obs.Histogram
+}
+
+// Instrument installs fsync-duration and group-commit-size histograms.
+// Call before the log is shared with appenders.
+func (w *WAL) Instrument(fsync, group *obs.Histogram) {
+	w.syncMu.Lock()
+	w.fsyncHist, w.groupHist = fsync, group
+	w.syncMu.Unlock()
 }
 
 // OpenWAL opens (or creates) the log at path for appending. A legacy
@@ -314,7 +330,10 @@ func (w *WAL) syncTo(seq uint64) error {
 	err := w.buf.Flush()
 	w.mu.Unlock()
 	if err == nil {
+		t0 := time.Now()
 		err = w.f.Sync()
+		w.fsyncHist.Since(t0)
+		w.groupHist.Observe(covered - w.syncedSeq)
 		w.syncs.Add(1)
 	}
 	if err != nil {

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the live metrics surface for a registry:
+//
+//	/metrics        Prometheus text exposition format
+//	/debug/traces   JSON slow-op log (?n= caps the count, default 32)
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//
+// weaverd mounts it behind -metrics-addr. A nil registry serves empty
+// (but well-formed) responses, so the endpoint can stay up with
+// metrics disabled.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		n := 32
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		ops := r.Tracer().SlowOps(n)
+		if ops == nil {
+			ops = []TraceSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ops)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -70,6 +70,7 @@ func (s *Shard) selectBatch(max int) []queued {
 // drainAllQueued coalesce acks across the whole drain via ackSet).
 func (s *Shard) applyBatch(batch []queued) {
 	s.applyBatches.Add(1)
+	s.m.batchTx.Observe(uint64(len(batch)))
 	if n := uint64(len(batch)); n > s.maxBatchTx.Load() {
 		s.maxBatchTx.Store(n)
 	}

@@ -44,6 +44,7 @@ func (s *Shard) answerLookup(m wire.IndexLookup) {
 			ErrCode: wire.ErrCodeStaleSnapshot,
 			Err: fmt.Sprintf("shard %d: lookup timestamp %v behind GC watermark %v",
 				s.cfg.ID, m.ReadTS, s.gcWM),
+			Trace: m.Trace,
 		})
 		return
 	}
@@ -63,10 +64,11 @@ func (s *Shard) answerLookup(m wire.IndexLookup) {
 			Shard:   s.cfg.ID,
 			ErrCode: wire.ErrCodeNoIndex,
 			Err:     fmt.Sprintf("shard %d: no index on property key %q", s.cfg.ID, m.Key),
+			Trace:   m.Trace,
 		})
 		return
 	}
-	s.ep.Send(m.Reply, wire.IndexResult{QID: m.QID, Shard: s.cfg.ID, Vertices: ids})
+	s.ep.Send(m.Reply, wire.IndexResult{QID: m.QID, Shard: s.cfg.ID, Vertices: ids, Trace: m.Trace})
 }
 
 // DetachIndex removes and returns the encoded posting history of the

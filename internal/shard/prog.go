@@ -232,6 +232,7 @@ func (s *Shard) runBatch(b *hopBatch) {
 			ReadTS:      b.readTS,
 			Coordinator: b.coordinator,
 			Hops:        hops,
+			Trace:       b.trace,
 		})
 	}
 	if err := s.ep.Send(b.coordinator, wire.ProgDelta{
@@ -239,6 +240,7 @@ func (s *Shard) runBatch(b *hopBatch) {
 		ConsumedIDs: consumed,
 		SpawnedIDs:  spawnedIDs,
 		Results:     results,
+		Trace:       b.trace,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "weaver shard %d: delta to %s: %v\n", s.cfg.ID, b.coordinator, err)
 	}

@@ -41,6 +41,7 @@ import (
 	"weaver/internal/index"
 	"weaver/internal/kvstore"
 	"weaver/internal/nodeprog"
+	"weaver/internal/obs"
 	"weaver/internal/oracle"
 	"weaver/internal/partition"
 	"weaver/internal/transport"
@@ -85,6 +86,9 @@ type Config struct {
 	// maintains over its partition (internal/index); must be identical
 	// across all shards of a cluster. Empty = no indexes.
 	Indexes []index.Spec
+	// Obs is the metrics/tracing registry. Nil disables observability
+	// (every handle no-ops).
+	Obs *obs.Registry
 }
 
 // Pager reads vertex records for demand paging; satisfied by
@@ -118,6 +122,11 @@ type Stats struct {
 type queued struct {
 	ts  core.Timestamp
 	ops []graph.Op
+	// at is the receipt time (zero for NOPs) and trace the propagated
+	// trace ID (0 = untraced); both feed the shard_queue/shard_apply
+	// instrumentation in apply.
+	at    time.Time
+	trace uint64
 }
 
 type hopBatch struct {
@@ -126,6 +135,7 @@ type hopBatch struct {
 	readTS      core.Timestamp // snapshot the program reads at (== ts unless historical)
 	coordinator transport.Addr
 	hops        []wire.Hop
+	trace       uint64 // propagated trace ID, echoed on hops and deltas
 }
 
 // Shard is one shard server. All mutable state is owned by the Run loop
@@ -138,6 +148,7 @@ type Shard struct {
 	orc oracle.Client
 	reg *nodeprog.Registry
 	dir partition.Directory
+	m   obsMetrics
 
 	reseq      []*transport.Resequencer[queued]
 	queues     [][]queued
@@ -202,6 +213,7 @@ func New(cfg Config, ep transport.Endpoint, orc oracle.Client, reg *nodeprog.Reg
 		orc:        orc,
 		reg:        reg,
 		dir:        dir,
+		m:          newObsMetrics(cfg.Obs),
 		reseq:      make([]*transport.Resequencer[queued], cfg.NumGatekeepers),
 		queues:     make([][]queued, cfg.NumGatekeepers),
 		frontier:   make([]core.Timestamp, cfg.NumGatekeepers),
@@ -466,14 +478,21 @@ func (s *Shard) drain() {
 func (s *Shard) handle(msg transport.Message) {
 	switch m := msg.Payload.(type) {
 	case wire.TxForward:
-		s.ingest(m.TS, m.Seq, m.Ops)
+		now := time.Now()
+		if m.Trace != 0 {
+			// Close the wire_transfer span against the mark the
+			// gatekeeper set at its send instant (same-process tracer;
+			// over TCP the lookup misses and this no-ops).
+			s.m.tracer.Lookup(m.Trace).SpanSinceMark("wire_transfer", now)
+		}
+		s.ingest(m.TS, m.Seq, m.Ops, now, m.Trace)
 	case wire.Nop:
 		s.nopsSeen.Add(1)
-		s.ingest(m.TS, m.Seq, nil)
+		s.ingest(m.TS, m.Seq, nil, time.Time{}, 0)
 	case wire.ProgStart:
-		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, readTS: readOrTS(m.ReadTS, m.TS), coordinator: m.Coordinator, hops: m.Hops})
+		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, readTS: readOrTS(m.ReadTS, m.TS), coordinator: m.Coordinator, hops: m.Hops, trace: m.Trace})
 	case wire.ProgHops:
-		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, readTS: readOrTS(m.ReadTS, m.TS), coordinator: m.Coordinator, hops: m.Hops})
+		s.pending = append(s.pending, &hopBatch{qid: m.QID, ts: m.TS, readTS: readOrTS(m.ReadTS, m.TS), coordinator: m.Coordinator, hops: m.Hops, trace: m.Trace})
 	case wire.ProgFinish:
 		delete(s.progState, m.QID)
 		if _, seen := s.finished[m.QID]; !seen {
@@ -533,12 +552,12 @@ func readOrTS(readTS, ts core.Timestamp) core.Timestamp {
 
 // ingest pushes one in-order stream item through the resequencer; NOPs
 // advance the frontier, transactions enqueue.
-func (s *Shard) ingest(ts core.Timestamp, seq uint64, ops []graph.Op) {
+func (s *Shard) ingest(ts core.Timestamp, seq uint64, ops []graph.Op, at time.Time, trace uint64) {
 	gk := ts.Owner
 	if gk < 0 || gk >= len(s.queues) {
 		return
 	}
-	s.reseq[gk].Push(seq, queued{ts: ts, ops: ops})
+	s.reseq[gk].Push(seq, queued{ts: ts, ops: ops, at: at, trace: trace})
 	for {
 		item, ok := s.reseq[gk].Pop()
 		if !ok {
@@ -621,7 +640,28 @@ func (s *Shard) order(a, b core.Timestamp) core.Order {
 	return o
 }
 
-// apply executes one transaction's operations against the multi-version
+// apply executes one transaction with its queue-wait/apply instrumentation
+// around applyOps. It runs on the event loop or a pool worker; trace
+// methods are safe from either. The shard's trace token (registered by the
+// gatekeeper's Expect before the forward was sent) is released here — the
+// last release across all involved shards completes the trace.
+func (s *Shard) apply(q queued) {
+	tA := time.Now()
+	if !q.at.IsZero() {
+		s.m.queueWait.Dur(tA.Sub(q.at))
+	}
+	s.applyOps(q)
+	s.m.applyDur.Since(tA)
+	if q.trace != 0 {
+		if t := s.m.tracer.Lookup(q.trace); t != nil {
+			t.Span("shard_queue", q.at, tA)
+			t.SpanSince("shard_apply", tA)
+			s.m.tracer.Done(t)
+		}
+	}
+}
+
+// applyOps executes one transaction's operations against the multi-version
 // graph. Operations were validated at the backing store (§4.2); a failure
 // here is an ordering bug and is surfaced loudly.
 //
@@ -630,7 +670,7 @@ func (s *Shard) order(a, b core.Timestamp) core.Order {
 // stamped with its timestamp (commits reach the store before shards) — is
 // paged back in, and the transaction's remaining operations on that vertex
 // are skipped to avoid double application.
-func (s *Shard) apply(q queued) {
+func (s *Shard) applyOps(q queued) {
 	s.heat.addOps(q.ops)
 	if s.pager == nil {
 		// Hot path: the whole transaction under one store-lock

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"weaver/internal/binenc"
+	"weaver/internal/obs"
 )
 
 // MaxFrame bounds one wire frame (length field excluded). Frames beyond it
@@ -184,6 +185,9 @@ type frameReader struct {
 	r   io.Reader
 	hdr [4]byte
 	buf []byte
+	// decoded, when set, counts complete frame bytes read off the wire
+	// (length prefix included).
+	decoded *obs.Counter
 }
 
 // next reads and decodes one frame. io errors pass through (io.EOF on a
@@ -203,5 +207,6 @@ func (fr *frameReader) next() (from, to Addr, payload any, err error) {
 	if _, err = io.ReadFull(fr.r, fr.buf); err != nil {
 		return "", "", nil, err
 	}
+	fr.decoded.Add(uint64(n) + 4)
 	return DecodeFrame(fr.buf)
 }

@@ -38,9 +38,10 @@ type TCPNode struct {
 	dialing map[string]*pendingDial
 	// dial opens one raw connection (net.Dial by default; tests inject
 	// blackholes and fault wrappers here).
-	dial   func(host string) (net.Conn, error)
-	closed bool
-	wg     sync.WaitGroup
+	dial    func(host string) (net.Conn, error)
+	metrics WireMetrics
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // pendingDial is the per-host in-flight dial state: waiters block on done,
@@ -94,6 +95,15 @@ func NewTCPNode(listen string, routes map[string]string) (*TCPNode, error) {
 func (n *TCPNode) SetRoute(prefix, host string) {
 	n.mu.Lock()
 	n.routes[prefix] = host
+	n.mu.Unlock()
+}
+
+// Instrument installs frame-traffic counters. Call before traffic flows
+// (connections opened later pick the counters up; existing read loops
+// keep their previous handles).
+func (n *TCPNode) Instrument(m WireMetrics) {
+	n.mu.Lock()
+	n.metrics = m
 	n.mu.Unlock()
 }
 
@@ -176,7 +186,10 @@ func (n *TCPNode) dropConn(tc *tcpConn) {
 func (n *TCPNode) readLoop(tc *tcpConn) {
 	defer n.wg.Done()
 	defer n.dropConn(tc)
-	fr := &frameReader{r: bufio.NewReaderSize(tc.c, 1<<16)}
+	n.mu.Lock()
+	metrics := n.metrics
+	n.mu.Unlock()
+	fr := &frameReader{r: bufio.NewReaderSize(tc.c, 1<<16), decoded: metrics.DecodedBytes}
 	for {
 		from, to, payload, err := fr.next()
 		if err != nil {
@@ -344,6 +357,11 @@ func (n *TCPNode) send(c *tcpConn, from, to Addr, payload any) error {
 		putFrameBuf(bp)
 		return err
 	}
+	n.mu.Lock()
+	metrics := n.metrics
+	n.mu.Unlock()
+	metrics.Frames.Add(1)
+	metrics.EncodedBytes.Add(uint64(len(buf)))
 	c.mu.Lock()
 	_, werr := c.c.Write(buf)
 	c.mu.Unlock()

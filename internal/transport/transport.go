@@ -18,7 +18,21 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"weaver/internal/obs"
 )
+
+// WireMetrics counts traffic through the binary frame path. The fields
+// are obs counter handles (nil-safe, so the zero value disables the
+// accounting with no branches at the call sites).
+type WireMetrics struct {
+	// EncodedBytes / DecodedBytes count complete frame bytes (length
+	// prefix included) on the encode and decode side respectively.
+	EncodedBytes *obs.Counter
+	DecodedBytes *obs.Counter
+	// Frames counts frames encoded.
+	Frames *obs.Counter
+}
 
 // Addr identifies a server mailbox, e.g. "gk/0", "shard/2", "client/7".
 type Addr string
@@ -123,6 +137,8 @@ type Fabric struct {
 	// wireFrames round-trips every payload through the binary frame
 	// codec (see WithWireFrames).
 	wireFrames bool
+	// metrics counts frame traffic when wireFrames is on.
+	metrics WireMetrics
 }
 
 // NewFabric returns an empty in-process fabric.
@@ -180,6 +196,16 @@ func (f *Fabric) WithWireFrames() *Fabric {
 	return f
 }
 
+// WithWireMetrics installs frame-traffic counters on the wire-frame
+// path (no effect unless WithWireFrames is on). Returns the fabric for
+// chaining.
+func (f *Fabric) WithWireMetrics(m WireMetrics) *Fabric {
+	f.mu.Lock()
+	f.metrics = m
+	f.mu.Unlock()
+	return f
+}
+
 type endpoint struct {
 	addr Addr
 	box  *mailbox
@@ -213,6 +239,7 @@ func (e *endpoint) Send(to Addr, payload any) error {
 	box, ok := e.f.boxes[to]
 	delayFn := e.f.delayFn
 	wireFrames := e.f.wireFrames
+	metrics := e.f.metrics
 	e.f.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknown, to)
@@ -226,12 +253,15 @@ func (e *endpoint) Send(to Addr, payload any) error {
 			putFrameBuf(bp)
 			return err
 		}
+		metrics.Frames.Add(1)
+		metrics.EncodedBytes.Add(uint64(len(buf)))
 		_, _, decoded, err := DecodeFrame(buf[4:])
 		*bp = buf
 		putFrameBuf(bp)
 		if err != nil {
 			return err
 		}
+		metrics.DecodedBytes.Add(uint64(len(buf)))
 		payload = decoded
 	}
 	msg := Message{From: e.addr, Payload: payload}

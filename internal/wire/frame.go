@@ -58,6 +58,7 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		buf = binenc.AppendTS(buf, m.TS)
 		buf = binenc.AppendUvarint(buf, m.Seq)
 		buf = appendOps(buf, m.Ops)
+		buf = appendTrace(buf, m.Trace)
 	case Nop:
 		buf = append(buf, tagNop)
 		buf = binenc.AppendTS(buf, m.TS)
@@ -79,6 +80,7 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		buf = binenc.AppendBytes(buf, m.Params)
 		buf = appendHops(buf, m.Hops)
 		buf = binenc.AppendStr(buf, string(m.Coordinator))
+		buf = appendTrace(buf, m.Trace)
 	case ProgHops:
 		buf = append(buf, tagProgHops)
 		buf = binenc.AppendID(buf, m.QID)
@@ -86,6 +88,7 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		buf = binenc.AppendTS(buf, m.ReadTS)
 		buf = binenc.AppendStr(buf, string(m.Coordinator))
 		buf = appendHops(buf, m.Hops)
+		buf = appendTrace(buf, m.Trace)
 	case ProgDelta:
 		buf = append(buf, tagProgDelta)
 		buf = binenc.AppendID(buf, m.QID)
@@ -97,6 +100,7 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		}
 		buf = binenc.AppendStr(buf, m.Err)
 		buf = binenc.AppendVarint(buf, int64(m.ErrCode))
+		buf = appendTrace(buf, m.Trace)
 	case ProgFinish:
 		buf = append(buf, tagProgFinish)
 		buf = binenc.AppendID(buf, m.QID)
@@ -110,6 +114,7 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		buf = binenc.AppendStr(buf, m.Hi)
 		buf = binenc.AppendBool(buf, m.Range)
 		buf = binenc.AppendStr(buf, string(m.Reply))
+		buf = appendTrace(buf, m.Trace)
 	case IndexResult:
 		buf = append(buf, tagIndexResult)
 		buf = binenc.AppendID(buf, m.QID)
@@ -120,6 +125,7 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		}
 		buf = binenc.AppendStr(buf, m.Err)
 		buf = binenc.AppendVarint(buf, int64(m.ErrCode))
+		buf = appendTrace(buf, m.Trace)
 	case GCReport:
 		buf = append(buf, tagGCReport)
 		buf = binenc.AppendVarint(buf, int64(m.GK))
@@ -195,6 +201,7 @@ func (frameCodec) Decode(data []byte) (any, error) {
 	switch tag {
 	case tagTxForward:
 		m := TxForward{TS: d.TS(), Seq: d.Uvarint(), Ops: decodeOps(d)}
+		m.Trace = decodeTrace(d)
 		v = m
 	case tagNop:
 		v = Nop{TS: d.TS(), Seq: d.Uvarint()}
@@ -203,16 +210,20 @@ func (frameCodec) Decode(data []byte) (any, error) {
 	case tagAnnounce:
 		v = Announce{TS: d.TS()}
 	case tagProgStart:
-		v = ProgStart{
+		m := ProgStart{
 			QID: d.ID(), TS: d.TS(), ReadTS: d.TS(),
 			Prog: d.Str(), Params: d.Bytes(), Hops: decodeHops(d),
 			Coordinator: transport.Addr(d.Str()),
 		}
+		m.Trace = decodeTrace(d)
+		v = m
 	case tagProgHops:
-		v = ProgHops{
+		m := ProgHops{
 			QID: d.ID(), TS: d.TS(), ReadTS: d.TS(),
 			Coordinator: transport.Addr(d.Str()), Hops: decodeHops(d),
 		}
+		m.Trace = decodeTrace(d)
+		v = m
 	case tagProgDelta:
 		m := ProgDelta{QID: d.ID(), ConsumedIDs: decodeU64s(d), SpawnedIDs: decodeU64s(d)}
 		if n := d.Count(1); n > 0 && d.Err == nil {
@@ -223,15 +234,18 @@ func (frameCodec) Decode(data []byte) (any, error) {
 		}
 		m.Err = d.Str()
 		m.ErrCode = int(d.Varint())
+		m.Trace = decodeTrace(d)
 		v = m
 	case tagProgFinish:
 		v = ProgFinish{QID: d.ID()}
 	case tagIndexLookup:
-		v = IndexLookup{
+		m := IndexLookup{
 			QID: d.ID(), ReadTS: d.TS(), Key: d.Str(), Value: d.Str(),
 			Lo: d.Str(), Hi: d.Str(), Range: d.Bool(),
 			Reply: transport.Addr(d.Str()),
 		}
+		m.Trace = decodeTrace(d)
+		v = m
 	case tagIndexResult:
 		m := IndexResult{QID: d.ID(), Shard: int(d.Varint())}
 		if n := d.Count(1); n > 0 && d.Err == nil {
@@ -242,6 +256,7 @@ func (frameCodec) Decode(data []byte) (any, error) {
 		}
 		m.Err = d.Str()
 		m.ErrCode = int(d.Varint())
+		m.Trace = decodeTrace(d)
 		v = m
 	case tagGCReport:
 		v = GCReport{GK: int(d.Varint()), TS: d.TS(), OracleTS: d.TS()}
@@ -298,6 +313,30 @@ func (frameCodec) Decode(data []byte) (any, error) {
 		return nil, fmt.Errorf("wire: decode tag %d: %d trailing bytes", tag, len(d.Buf))
 	}
 	return v, nil
+}
+
+// appendTrace encodes the obs trace ID as an append-only TRAILING
+// field: written only when nonzero, so untraced messages stay
+// byte-identical to the pre-trace wire format. Any message gaining a
+// trace field must put it after every other field (and new trailing
+// fields must go after it, encoded unconditionally once a trace can
+// precede them).
+func appendTrace(buf []byte, trace uint64) []byte {
+	if trace == 0 {
+		return buf
+	}
+	return binenc.AppendUvarint(buf, trace)
+}
+
+// decodeTrace reads the optional trailing trace ID: absent (old frames,
+// or untraced messages) decodes as 0. Call it after every other field
+// so Decode's trailing-bytes corruption check still covers anything
+// beyond the trace.
+func decodeTrace(d *binenc.Decoder) uint64 {
+	if d.Err != nil || len(d.Buf) == 0 {
+		return 0
+	}
+	return d.Uvarint()
 }
 
 func appendOps(buf []byte, ops []graph.Op) []byte {

@@ -68,6 +68,14 @@ func randomMessage(r *rand.Rand) any {
 		}
 		return core.Timestamp{Epoch: uint64(r.Intn(5)), Owner: r.Intn(3), Clock: clk}
 	}
+	// Half the traceable messages carry a random trace ID so the optional
+	// trailing field (absent when zero) is fuzzed in both states.
+	rtrace := func() uint64 {
+		if r.Intn(2) == 0 {
+			return 0
+		}
+		return r.Uint64()
+	}
 	switch r.Intn(5) {
 	case 0:
 		ops := make([]graph.Op, r.Intn(5))
@@ -75,21 +83,22 @@ func randomMessage(r *rand.Rand) any {
 			ops[i] = graph.Op{Kind: graph.OpKind(r.Intn(8)), Vertex: graph.VertexID(rs(12)),
 				Edge: graph.EdgeID(rs(8)), To: graph.VertexID(rs(12)), Key: rs(6), Value: rs(20)}
 		}
-		return TxForward{TS: rts(), Seq: r.Uint64(), Ops: ops}
+		return TxForward{TS: rts(), Seq: r.Uint64(), Ops: ops, Trace: rtrace()}
 	case 1:
 		hops := make([]Hop, r.Intn(4))
 		for i := range hops {
 			hops[i] = Hop{ID: r.Uint64(), Vertex: graph.VertexID(rs(10)), Program: rs(8),
 				Params: []byte(rs(16)), Origin: r.Intn(5) - 1}
 		}
-		return ProgHops{QID: rts().ID(), TS: rts(), ReadTS: rts(), Coordinator: "gk/0", Hops: hops}
+		return ProgHops{QID: rts().ID(), TS: rts(), ReadTS: rts(), Coordinator: "gk/0",
+			Hops: hops, Trace: rtrace()}
 	case 2:
 		return ProgDelta{QID: rts().ID(), ConsumedIDs: []uint64{r.Uint64()},
 			SpawnedIDs: []uint64{r.Uint64(), r.Uint64()}, Results: [][]byte{[]byte(rs(30))},
-			Err: rs(10), ErrCode: r.Intn(3)}
+			Err: rs(10), ErrCode: r.Intn(3), Trace: rtrace()}
 	case 3:
 		return IndexLookup{QID: rts().ID(), ReadTS: rts(), Key: rs(6), Value: rs(10),
-			Lo: rs(4), Hi: rs(4), Range: r.Intn(2) == 0, Reply: "gk/1"}
+			Lo: rs(4), Hi: rs(4), Range: r.Intn(2) == 0, Reply: "gk/1", Trace: rtrace()}
 	default:
 		return KVResp{ID: r.Uint64(), Value: []byte(rs(40)), Version: r.Uint64(), OK: true,
 			Keys: []string{rs(8)}, Vals: [][]byte{[]byte(rs(8))}}

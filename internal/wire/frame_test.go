@@ -26,6 +26,8 @@ func sampleMessages() []any {
 			{Kind: graph.OpDeleteVertex, Vertex: "user/3"},
 		}},
 		TxForward{TS: ts(0, 0, 1), Seq: 1},
+		TxForward{TS: ts(2, 1, 7, 9), Seq: 43, Trace: 0xdeadbeef,
+			Ops: []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "user/9"}}},
 		Nop{TS: ts(3, 2, 1, 2, 3), Seq: 9000},
 		TxApplied{TS: ts(1, 1, 4, 4), Shard: 3, Count: 17},
 		TxApplied{TS: ts(1, 0, 1), Shard: 0, Count: -1},
@@ -40,16 +42,21 @@ func sampleMessages() []any {
 			Coordinator: transport.Addr("gk/0"),
 		},
 		ProgStart{QID: core.ID{}, Prog: ""},
+		ProgStart{QID: qid, TS: ts(1, 0, 5, 3), Prog: "bfs", Coordinator: "gk/0", Trace: 7},
 		ProgHops{QID: qid, TS: ts(1, 0, 5, 3), Coordinator: "gk/1",
 			Hops: []Hop{{ID: 7, Vertex: "v", Program: "p", Origin: 0}}},
+		ProgHops{QID: qid, TS: ts(1, 0, 5, 3), Coordinator: "gk/1", Trace: 1},
 		ProgDelta{QID: qid, ConsumedIDs: []uint64{1, 2, 3}, SpawnedIDs: []uint64{9},
 			Results: [][]byte{[]byte("r1"), nil, []byte("r3")}, Err: "boom", ErrCode: ErrCodeStaleSnapshot},
 		ProgDelta{QID: qid},
+		ProgDelta{QID: qid, ConsumedIDs: []uint64{4}, Trace: 1 << 63},
 		ProgFinish{QID: qid},
 		IndexLookup{QID: qid, ReadTS: ts(1, 1, 3, 3), Key: "city", Value: "ithaca", Reply: "gk/2"},
 		IndexLookup{QID: qid, Key: "age", Lo: "10", Hi: "42", Range: true, Reply: "gk/0"},
+		IndexLookup{QID: qid, Key: "city", Value: "ithaca", Reply: "gk/2", Trace: 99},
 		IndexResult{QID: qid, Shard: 2, Vertices: []graph.VertexID{"v1", "v2"}},
 		IndexResult{QID: qid, Shard: 1, Err: "no index", ErrCode: ErrCodeNoIndex},
+		IndexResult{QID: qid, Shard: 0, Vertices: []graph.VertexID{"v3"}, Trace: 99},
 		GCReport{GK: 2, TS: ts(1, 2, 8, 8, 8), OracleTS: ts(1, 2, 9, 9, 9)},
 		GCReport{GK: 0},
 		ShardGCReport{Shard: 4, TS: ts(2, 0, 1, 1)},
@@ -157,6 +164,84 @@ func TestGobFallbackFrame(t *testing.T) {
 	}
 }
 
+// traceable builds every message shape carrying a Trace field, with the
+// given trace value, alongside the same message with Trace zeroed.
+func traceable(trace uint64) []any {
+	qid := ts(1, 0, 5, 3).ID()
+	return []any{
+		TxForward{TS: ts(2, 1, 7, 9), Seq: 42, Trace: trace,
+			Ops: []graph.Op{{Kind: graph.OpCreateVertex, Vertex: "user/1"}}},
+		ProgStart{QID: qid, TS: ts(1, 0, 5, 3), Prog: "bfs", Params: []byte{1},
+			Hops:        []Hop{{ID: 1, Vertex: "a", Program: "bfs", Origin: -1}},
+			Coordinator: "gk/0", Trace: trace},
+		ProgHops{QID: qid, TS: ts(1, 0, 5, 3), Coordinator: "gk/1",
+			Hops: []Hop{{ID: 7, Vertex: "v", Program: "p", Origin: 0}}, Trace: trace},
+		ProgDelta{QID: qid, ConsumedIDs: []uint64{1}, Results: [][]byte{[]byte("r")}, Trace: trace},
+		IndexLookup{QID: qid, ReadTS: ts(1, 1, 3, 3), Key: "city", Value: "ithaca",
+			Reply: "gk/2", Trace: trace},
+		IndexResult{QID: qid, Shard: 2, Vertices: []graph.VertexID{"v1"}, Trace: trace},
+	}
+}
+
+// withTrace returns a copy of msg with its Trace field set (all
+// traceable messages carry the field by the name Trace).
+func setTrace(msg any, trace uint64) any {
+	rv := reflect.ValueOf(&msg).Elem().Elem()
+	cp := reflect.New(rv.Type()).Elem()
+	cp.Set(rv)
+	cp.FieldByName("Trace").SetUint(trace)
+	return cp.Interface()
+}
+
+// TestTraceFieldRoundTrip checks the trace ID survives encode→decode on
+// every message that carries one, across edge values.
+func TestTraceFieldRoundTrip(t *testing.T) {
+	var c frameCodec
+	for _, trace := range []uint64{1, 64, 1 << 20, 1<<64 - 1} {
+		for _, msg := range traceable(trace) {
+			buf, ok := c.Append(nil, msg)
+			if !ok {
+				t.Fatalf("%T: no codec", msg)
+			}
+			got, err := c.Decode(buf)
+			if err != nil {
+				t.Fatalf("%T trace=%d: %v", msg, trace, err)
+			}
+			if !reflect.DeepEqual(normalizeMsg(msg), normalizeMsg(got)) {
+				t.Fatalf("%T trace=%d round trip:\nsent %#v\ngot  %#v", msg, trace, msg, got)
+			}
+		}
+	}
+}
+
+// TestTraceFieldOldFrameCompat pins the append-only evolution contract
+// in both directions: an untraced message encodes byte-identically to
+// the pre-trace wire format (so old decoders accept frames from new
+// senders), and a frame missing the field entirely — what an old sender
+// produces — decodes with Trace == 0.
+func TestTraceFieldOldFrameCompat(t *testing.T) {
+	var c frameCodec
+	for _, traced := range traceable(5) {
+		untraced := setTrace(traced, 0)
+		oldBuf, _ := c.Append(nil, untraced) // == the PR 6 encoding: no trace bytes
+		newBuf, _ := c.Append(nil, traced)
+		if len(newBuf) != len(oldBuf)+1 {
+			t.Fatalf("%T: trace=5 must cost exactly one trailing byte (%d vs %d)",
+				traced, len(newBuf), len(oldBuf))
+		}
+		if string(newBuf[:len(oldBuf)]) != string(oldBuf) {
+			t.Fatalf("%T: trace field is not append-only", traced)
+		}
+		got, err := c.Decode(oldBuf)
+		if err != nil {
+			t.Fatalf("%T: old frame: %v", traced, err)
+		}
+		if !reflect.DeepEqual(normalizeMsg(untraced), normalizeMsg(got)) {
+			t.Fatalf("%T: old frame did not decode to Trace==0:\n%#v", traced, got)
+		}
+	}
+}
+
 // TestFrameCodecRejectsTrailing pins the exactly-one-message contract.
 func TestFrameCodecRejectsTrailing(t *testing.T) {
 	var c frameCodec
@@ -166,5 +251,10 @@ func TestFrameCodecRejectsTrailing(t *testing.T) {
 	}
 	if _, err := c.Decode(buf[:len(buf)-1]); err == nil {
 		t.Fatal("truncated body must fail decode")
+	}
+	// Bytes after an already-present trace field are still corruption.
+	traced, _ := c.Append(nil, TxForward{TS: ts(1, 0, 1), Seq: 1, Trace: 9})
+	if _, err := c.Decode(append(traced, 0x01)); err == nil {
+		t.Fatal("trailing bytes after the trace field must fail decode")
 	}
 }

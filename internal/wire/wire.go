@@ -20,6 +20,12 @@ type TxForward struct {
 	TS  core.Timestamp
 	Seq uint64
 	Ops []graph.Op
+	// Trace is the obs trace ID when this transaction is sampled for
+	// span tracing; 0 (the common case) means untraced. On the wire it
+	// is an append-only trailing field: absent when zero, so untraced
+	// frames are byte-identical to the pre-trace format and old frames
+	// decode as Trace == 0.
+	Trace uint64
 }
 
 // Nop is a no-op transaction keeping the per-gatekeeper queue at every
@@ -68,6 +74,9 @@ type ProgStart struct {
 	Params      []byte
 	Hops        []Hop
 	Coordinator transport.Addr
+	// Trace is the obs trace ID (0 = untraced); append-only trailing
+	// wire field, see TxForward.Trace.
+	Trace uint64
 }
 
 // ProgHops carries propagation hops from one shard to another: the scatter
@@ -79,6 +88,9 @@ type ProgHops struct {
 	ReadTS      core.Timestamp
 	Coordinator transport.Addr
 	Hops        []Hop
+	// Trace is the obs trace ID (0 = untraced); append-only trailing
+	// wire field, see TxForward.Trace.
+	Trace uint64
 }
 
 // Hop is one pending vertex visit: the program to run there, and the
@@ -137,6 +149,9 @@ type IndexLookup struct {
 	Lo, Hi string
 	Range  bool
 	Reply  transport.Addr
+	// Trace is the obs trace ID (0 = untraced); append-only trailing
+	// wire field, see TxForward.Trace.
+	Trace uint64
 }
 
 // IndexResult is one shard's half of a scatter-gather index lookup: the
@@ -148,6 +163,9 @@ type IndexResult struct {
 	Vertices []graph.VertexID
 	Err      string
 	ErrCode  int
+	// Trace echoes the lookup's obs trace ID (0 = untraced);
+	// append-only trailing wire field, see TxForward.Trace.
+	Trace uint64
 }
 
 // ProgDelta reports execution progress from a shard to the coordinator:
@@ -161,6 +179,9 @@ type ProgDelta struct {
 	Results     [][]byte
 	Err         string
 	ErrCode     int
+	// Trace echoes the program's obs trace ID (0 = untraced);
+	// append-only trailing wire field, see TxForward.Trace.
+	Trace uint64
 }
 
 // ProgFinish tells shards the query terminated; per-vertex program state is

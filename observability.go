@@ -1,0 +1,52 @@
+package weaver
+
+import (
+	"weaver/internal/obs"
+	"weaver/internal/transport"
+)
+
+// Observability: the cluster-level metrics surface. Every stage of the
+// refinable-timestamp pipeline is instrumented (internal/obs) — commit
+// admission, timestamp mint, OCC execute, oracle refinement wait, shard
+// forward, wire transfer, shard queue and apply, WAL group commit — and
+// surfaces three ways: the typed Metrics snapshot here, the weaverd
+// -metrics-addr HTTP endpoint (Prometheus text + slow-op JSON + pprof),
+// and weaver-bench's per-stage histograms in its results JSON.
+//
+// Instrumentation is on by default and designed to stay on: counters and
+// histogram buckets are single atomic adds, trace spans are sampled
+// (Config.TraceSample), and Config.DisableMetrics collapses every site
+// to a nil-handle no-op for measuring the overhead itself.
+
+// Metrics returns a point-in-time snapshot of every registered counter,
+// gauge, and histogram. Returns the zero Snapshot when metrics are
+// disabled (Config.DisableMetrics).
+func (c *Cluster) Metrics() obs.Snapshot {
+	return c.obs.Snapshot()
+}
+
+// SlowOps returns up to n recently traced transactions, slowest first,
+// each with its per-stage spans (gk_queue, gk_mint, gk_execute,
+// oracle_refine, gk_store_commit, gk_forward, wire_transfer,
+// shard_queue, shard_apply). Only sampled transactions appear
+// (Config.TraceSample). Nil when metrics are disabled.
+func (c *Cluster) SlowOps(n int) []obs.TraceSnapshot {
+	return c.obs.Tracer().SlowOps(n)
+}
+
+// Observability exposes the cluster's metrics registry — the handle the
+// weaverd HTTP endpoint serves, also useful for registering
+// application-level gauges. Nil when metrics are disabled; a nil
+// registry is safe to use (every method no-ops).
+func (c *Cluster) Observability() *obs.Registry { return c.obs }
+
+// wireMetrics builds the frame-traffic counters the transport layer
+// increments on the wire-frame hot path. Nil registry yields nil
+// handles, which the transport treats as disabled.
+func wireMetrics(r *obs.Registry) transport.WireMetrics {
+	return transport.WireMetrics{
+		EncodedBytes: r.Counter("weaver_wire_encoded_bytes_total"),
+		DecodedBytes: r.Counter("weaver_wire_decoded_bytes_total"),
+		Frames:       r.Counter("weaver_wire_frames_total"),
+	}
+}

@@ -133,6 +133,7 @@ import (
 	"weaver/internal/index"
 	"weaver/internal/kvstore"
 	"weaver/internal/nodeprog"
+	"weaver/internal/obs"
 	"weaver/internal/oracle"
 	"weaver/internal/partition"
 	"weaver/internal/shard"
@@ -271,6 +272,19 @@ type Config struct {
 	// (e.g. 0.1 lets each shard hold 10% above the balanced share).
 	// 0 = 0.1.
 	RebalanceSlack float64
+	// DisableMetrics turns the observability surface off entirely: no
+	// registry, no histograms, no tracing — every instrumentation site
+	// degrades to nil-handle no-ops. The default (metrics on) is cheap
+	// enough to leave on permanently; this knob exists to measure that
+	// claim (the metrics-overhead benchmark gate) and for callers who
+	// want the last percent.
+	DisableMetrics bool
+	// TraceSample samples one in N committed transactions for
+	// end-to-end span tracing (gatekeeper queue → timestamp mint →
+	// oracle refinement → wire transfer → shard apply). 0 = 64;
+	// 1 traces every transaction (tests). Finished traces land in the
+	// slow-op ring (Cluster.SlowOps) and the weaverd metrics endpoint.
+	TraceSample int
 	// Indexes declares secondary property indexes: for each listed
 	// vertex-property key, every shard maintains a multiversion inverted
 	// index over its partition, kept exactly in step with the graph by
@@ -316,7 +330,13 @@ type Cluster struct {
 	reg       *nodeprog.Registry
 	dir       partition.Directory
 	mgr       *cluster.Manager
+	obs       *obs.Registry
 	baseEpoch uint64
+
+	// Client-side metric handles, resolved once (nil-safe when metrics
+	// are disabled).
+	clientTxDur     *obs.Histogram
+	clientTxRetries *obs.Counter
 
 	serversMu sync.RWMutex
 	gks       []*gatekeeper.Gatekeeper
@@ -337,6 +357,11 @@ func Open(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg}
+	if !cfg.DisableMetrics {
+		c.obs = obs.New(obs.Config{TraceSample: cfg.TraceSample})
+	}
+	c.clientTxDur = c.obs.LatencyHistogram("weaver_client_tx_seconds")
+	c.clientTxRetries = c.obs.Counter("weaver_client_tx_retries_total")
 	c.fabric = transport.NewFabric()
 	if cfg.NetDelayMax > 0 {
 		c.fabric.WithDelay(cfg.NetDelayMin, cfg.NetDelayMax)
@@ -346,6 +371,7 @@ func Open(cfg Config) (*Cluster, error) {
 		// fallback frame type and need their types registered.
 		wire.RegisterGob()
 		c.fabric.WithWireFrames()
+		c.fabric.WithWireMetrics(wireMetrics(c.obs))
 	}
 	if cfg.WALPath != "" {
 		durable, err := kvstore.NewDurableOptions(cfg.WALPath, kvstore.DurableOptions{
@@ -354,6 +380,10 @@ func Open(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("weaver: open backing store: %w", err)
 		}
+		durable.InstrumentWAL(
+			c.obs.LatencyHistogram("weaver_wal_fsync_seconds"),
+			c.obs.SizeHistogram("weaver_wal_group_commit_txns"),
+		)
 		c.kv = kvstore.AsBacking(durable)
 	} else {
 		c.kv = kvstore.AsBacking(kvstore.New())
@@ -439,6 +469,16 @@ func Open(cfg Config) (*Cluster, error) {
 	for _, gk := range c.gks {
 		gk.Start()
 	}
+	// Commit→apply lag, summed across gatekeepers, read at scrape time.
+	c.obs.GaugeFunc("weaver_gk_apply_lag", func() int64 {
+		c.serversMu.RLock()
+		defer c.serversMu.RUnlock()
+		var lag int64
+		for _, gk := range c.gks {
+			lag += gk.ApplyLag()
+		}
+		return lag
+	})
 	if heartbeat > 0 {
 		c.mgr = cluster.New(cluster.Config{HeartbeatTimeout: cfg.HeartbeatTimeout, StartEpoch: c.baseEpoch},
 			c.fabric.Endpoint(cluster.Addr))
@@ -479,6 +519,7 @@ func (c *Cluster) newShard(i int, epoch uint64) *shard.Shard {
 		Workers:         c.cfg.ShardWorkers,
 		MaxBatch:        c.cfg.ShardMaxBatch,
 		Indexes:         c.cfg.Indexes,
+		Obs:             c.obs,
 	}, ep, c.orc, c.reg, c.dir)
 	if c.cfg.MaxShardVertices > 0 {
 		sh.SetPager(c.kv)
@@ -505,6 +546,7 @@ func (c *Cluster) newGatekeeper(i int, epoch uint64) *gatekeeper.Gatekeeper {
 		ProgTimeout:      c.cfg.ProgTimeout,
 		MaxApplyLag:      c.cfg.MaxApplyLag,
 		HeartbeatPeriod:  heartbeat,
+		Obs:              c.obs,
 	}, ep, c.kv, c.orc, c.dir)
 }
 
