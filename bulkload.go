@@ -31,6 +31,7 @@ import (
 	"weaver/internal/graph"
 	"weaver/internal/kvstore"
 	"weaver/internal/partition"
+	"weaver/internal/plan"
 	"weaver/internal/shard"
 	"weaver/internal/snapshot"
 )
@@ -345,6 +346,43 @@ func (c *Cluster) BulkLoadGraph(vertices []BulkVertex, edges []BulkEdge) (BulkLo
 		}(sh)
 	}
 	shardWG.Wait()
+
+	// Marker catalog and statistics for the query planner: every indexed
+	// property value the load placed enters the (key, value, shard)
+	// catalog, and each shard's fresh cardinality stats install into every
+	// gatekeeper — all behind the fence, so no post-load query can plan
+	// against a catalog that would prune a freshly loaded shard. Markers go
+	// through the transactional store (not BulkPut), so the automatic
+	// checkpoint below covers them on a durable cluster.
+	if len(c.cfg.Indexes) > 0 {
+		markers := make(map[string]struct{})
+		for i := range order {
+			p := props[i]
+			if len(p) == 0 {
+				continue
+			}
+			for _, spec := range c.cfg.Indexes {
+				if v, ok := p[spec.Key]; ok {
+					markers[plan.MarkerKey(spec.Key, v, shardOf[i])] = struct{}{}
+				}
+			}
+		}
+		if len(markers) > 0 {
+			keys := make([]string, 0, len(markers))
+			for k := range markers {
+				keys = append(keys, k)
+			}
+			if err := gks[0].PublishMarkers(keys); err != nil {
+				return stats, fmt.Errorf("weaver: bulk load markers: %w", err)
+			}
+		}
+		for _, sh := range shards {
+			st := sh.IndexStats()
+			for _, gk := range gks {
+				gk.InstallIndexStats(st)
+			}
+		}
+	}
 
 	// Frontier install: every gatekeeper's clock observes the load
 	// timestamp, so every post-load timestamp in the cluster is

@@ -95,6 +95,7 @@ func main() {
 	run("rebalance", func() (fmt.Stringer, error) { return rebalanceScenario(o) })
 	run("timetravel", func() (fmt.Stringer, error) { return experiments.TimeTravel(o) })
 	run("index", func() (fmt.Stringer, error) { return experiments.Index(o) })
+	run("plan", func() (fmt.Stringer, error) { return experiments.Plan(o) })
 	run("wire", func() (fmt.Stringer, error) { return experiments.Wire(o) })
 	run("metrics-overhead", func() (fmt.Stringer, error) { return experiments.MetricsOverhead(o) })
 

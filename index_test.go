@@ -46,6 +46,20 @@ func sortedIDs(ids []weaver.VertexID) []weaver.VertexID {
 	return out
 }
 
+// firstDup returns a vertex appearing more than once in a lookup result,
+// or "". Merged lookup results must be duplicate-free even when a posting
+// transiently exists on two shards mid-migration or a marker re-check
+// round revisits a match.
+func firstDup(ids []weaver.VertexID) weaver.VertexID {
+	s := sortedIDs(ids)
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return s[i]
+		}
+	}
+	return ""
+}
+
 func sameIDSet(t *testing.T, label string, got, want []weaver.VertexID) {
 	t.Helper()
 	g, w := sortedIDs(got), sortedIDs(want)
@@ -465,6 +479,10 @@ func TestIndexStressLookupMatchesScan(t *testing.T) {
 					fail(fmt.Errorf("reader %d %s: %v", r, label, err))
 					return
 				}
+				if d := firstDup(ids); d != "" {
+					fail(fmt.Errorf("reader %d %s: vertex %s reported twice in one result", r, label, d))
+					return
+				}
 				want, ok, err := bruteScan(cl, ts, match)
 				if err != nil {
 					fail(fmt.Errorf("reader %d scan: %v", r, err))
@@ -512,6 +530,11 @@ func TestIndexStressLookupMatchesScan(t *testing.T) {
 				ids, err := rc.Lookup("city", want)
 				if err != nil {
 					fail(fmt.Errorf("pinned lookup: %v", err))
+					snap.Close()
+					return
+				}
+				if d := firstDup(ids); d != "" {
+					fail(fmt.Errorf("pinned lookup %s: vertex %s reported twice in one result", want, d))
 					snap.Close()
 					return
 				}

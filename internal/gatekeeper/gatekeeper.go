@@ -31,6 +31,7 @@ import (
 	"weaver/internal/obs"
 	"weaver/internal/oracle"
 	"weaver/internal/partition"
+	"weaver/internal/plan"
 	"weaver/internal/transport"
 	"weaver/internal/wire"
 )
@@ -109,6 +110,17 @@ type Config struct {
 	HeartbeatPeriod time.Duration
 	// ManagerAddr receives heartbeats (default "climgr").
 	ManagerAddr transport.Addr
+	// IndexedKeys declares the property keys carrying secondary indexes
+	// (weaver.Config.Indexes, identical across the cluster). The commit
+	// path publishes value-presence markers for them (internal/plan) and
+	// the query planner prunes lookup scatter with the marker catalog.
+	// Empty disables both: no marker upkeep, every lookup broadcasts —
+	// exactly the pre-planner behavior.
+	IndexedKeys []string
+	// DisablePlanning keeps marker maintenance but routes every index
+	// lookup through the broadcast fallback (planner escape hatch; EXPLAIN
+	// reports the fallback reason).
+	DisablePlanning bool
 	// Obs is the metrics/tracing registry. Nil disables observability
 	// (every handle no-ops).
 	Obs *obs.Registry
@@ -191,6 +203,14 @@ type Gatekeeper struct {
 	dir partition.Directory
 	m   obsMetrics
 
+	// planner turns index queries into pruned scatter plans; indexed is
+	// the IndexedKeys set; markerHave is the positive-only presence-marker
+	// cache (planner.go).
+	planner    *plan.Planner
+	indexed    map[string]struct{}
+	markerMu   sync.RWMutex
+	markerHave map[string]struct{}
+
 	mu          sync.Mutex
 	clock       *core.VectorClock
 	seq         *transport.Sequencer
@@ -236,20 +256,27 @@ type Gatekeeper struct {
 // directory. Call Start to launch its background loops.
 func New(cfg Config, ep transport.Endpoint, kv kvstore.Backing, orc oracle.Client, dir partition.Directory) *Gatekeeper {
 	cfg = cfg.withDefaults()
-	return &Gatekeeper{
-		cfg:     cfg,
-		ep:      ep,
-		kv:      kv,
-		orc:     orc,
-		dir:     dir,
-		m:       newObsMetrics(cfg.Obs),
-		clock:   core.NewVectorClock(cfg.ID, cfg.NumGatekeepers, cfg.Epoch),
-		seq:     transport.NewSequencer(),
-		progs:   make(map[core.ID]*progPending),
-		lookups: make(map[core.ID]*lookupPending),
-		pins:    make(map[core.ID]*pinnedSnapshot),
-		stop:    make(chan struct{}),
+	g := &Gatekeeper{
+		cfg:        cfg,
+		ep:         ep,
+		kv:         kv,
+		orc:        orc,
+		dir:        dir,
+		m:          newObsMetrics(cfg.Obs),
+		clock:      core.NewVectorClock(cfg.ID, cfg.NumGatekeepers, cfg.Epoch),
+		seq:        transport.NewSequencer(),
+		progs:      make(map[core.ID]*progPending),
+		lookups:    make(map[core.ID]*lookupPending),
+		pins:       make(map[core.ID]*pinnedSnapshot),
+		indexed:    make(map[string]struct{}, len(cfg.IndexedKeys)),
+		markerHave: make(map[string]struct{}),
+		stop:       make(chan struct{}),
 	}
+	for _, k := range cfg.IndexedKeys {
+		g.indexed[k] = struct{}{}
+	}
+	g.planner = plan.New(cfg.NumShards, g)
+	return g
 }
 
 // Start launches the receive, announce, NOP, and GC loops.
@@ -542,6 +569,8 @@ func (g *Gatekeeper) handle(msg transport.Message) {
 		g.handleProgDelta(m, msg.From)
 	case wire.IndexResult:
 		g.handleIndexResult(m)
+	case wire.IndexStats:
+		g.InstallIndexStats(m)
 	case wire.GCReport:
 		// Gatekeeper 0 aggregates watermarks and prunes the oracle's
 		// event dependency graph (§4.5).

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"weaver/internal/core"
 	"weaver/internal/graph"
+	"weaver/internal/obs"
+	"weaver/internal/plan"
 	"weaver/internal/transport"
 	"weaver/internal/wire"
 )
@@ -16,46 +19,115 @@ import (
 // secondary index is configured for (weaver.Config.Indexes).
 var ErrNoIndex = errors.New("gatekeeper: no secondary index on property key")
 
-// lookupPending tracks one scatter-gather index lookup: which shards have
-// not answered yet and the merged result set.
+// lookupPending tracks one scatter round of an index query: which shards
+// have not answered yet and the gathered result set.
 type lookupPending struct {
-	ts        core.Timestamp // the query's own fresh timestamp (identity, GC-holding)
+	ts        core.Timestamp // the round's own fresh timestamp (identity, GC-holding)
 	remaining map[int]struct{}
 	vertices  []graph.VertexID
+	contacts  []plan.ShardContact // per-shard reply accounting for EXPLAIN
 	err       error
 	done      chan struct{}
 }
 
+// LookupOptions parameterizes one index query through LookupOpts. Exactly
+// one of the three forms applies: Key/Value equality (Lookup), Key/Lo/Hi
+// with Range set (LookupRange), or a Wheres conjunction (LookupWhere).
+type LookupOptions struct {
+	// Key/Value is the legacy single-equality form.
+	Key, Value string
+	// Lo/Hi with Range is the legacy value-interval form (inclusive,
+	// lexicographic; empty = unbounded side).
+	Lo, Hi string
+	Range  bool
+	// Wheres, when non-empty, is a predicate conjunction pushed down to
+	// the shards on the wire (Key/Value/Lo/Hi/Range are then ignored);
+	// every predicate key must be indexed.
+	Wheres []wire.Where
+	// Limit caps the result at the first Limit matches by ascending
+	// vertex ID (0 = unlimited); pushed down with Wheres so shards
+	// truncate locally before replying.
+	Limit int
+	// ForceBroadcast skips shard pruning and contacts every shard — the
+	// planner-equivalence oracle and the EXPLAIN comparison baseline.
+	ForceBroadcast bool
+	// Explain, when non-nil, is filled with the executed plan.
+	Explain *plan.Explanation
+}
+
 // Lookup evaluates a secondary-index equality query cluster-wide at
-// readTS: every shard answers for its partition once it has applied
-// everything at or before readTS, and the merged result is exactly the set
-// of vertices whose indexed property equaled value in the snapshot at
-// readTS — historically consistent when readTS is a pinned or retained
+// readTS: every contacted shard answers for its partition once it has
+// applied everything at or before readTS, and the merged result is exactly
+// the set of vertices whose indexed property equaled value in the snapshot
+// at readTS — historically consistent when readTS is a pinned or retained
 // past timestamp (§4.5). A ZERO readTS means "at a fresh snapshot": the
-// lookup reads at its own registered timestamp, which is strictly after
-// every transaction committed through this gatekeeper and held against GC
-// while the query runs — the strictly serializable current-lookup mode.
-// The effective read timestamp is returned either way. Results are sorted
-// by vertex ID. Returns an error wrapping ErrStaleSnapshot when readTS has
+// lookup reads at a timestamp minted here, strictly after every
+// transaction committed through this gatekeeper and held against GC while
+// the query runs — the strictly serializable current-lookup mode. The
+// effective read timestamp is returned either way. Results are sorted by
+// vertex ID. Returns an error wrapping ErrStaleSnapshot when readTS has
 // fallen behind the GC watermark, or ErrNoIndex when key is not indexed.
+//
+// Which shards are contacted is decided by the query planner: shards
+// without a presence marker for (key, value) provably hold no match at
+// any snapshot and are pruned (see package plan for the soundness
+// argument, including why a query proven empty by the catalog may answer
+// without consulting a single shard — even past the GC watermark).
 func (g *Gatekeeper) Lookup(readTS core.Timestamp, key, value string) ([]graph.VertexID, core.Timestamp, error) {
-	return g.lookup(readTS, wire.IndexLookup{Key: key, Value: value})
+	return g.LookupOpts(readTS, LookupOptions{Key: key, Value: value})
 }
 
 // LookupRange is Lookup over the value interval [lo, hi] (lexicographic,
 // inclusive; empty lo/hi = unbounded), served by the index's sorted value
-// layer.
+// layer. Range queries carry no equality predicate, so they always
+// broadcast.
 func (g *Gatekeeper) LookupRange(readTS core.Timestamp, key, lo, hi string) ([]graph.VertexID, core.Timestamp, error) {
-	return g.lookup(readTS, wire.IndexLookup{Key: key, Lo: lo, Hi: hi, Range: true})
+	return g.LookupOpts(readTS, LookupOptions{Key: key, Lo: lo, Hi: hi, Range: true})
 }
 
-// lookup coordinates one scatter-gather index query.
-func (g *Gatekeeper) lookup(readTS core.Timestamp, req wire.IndexLookup) ([]graph.VertexID, core.Timestamp, error) {
+// LookupWhere is Lookup for a predicate conjunction: the result is the set
+// of vertices satisfying EVERY predicate at readTS, sorted ascending,
+// truncated to the first limit matches when limit > 0. Predicates are
+// pushed down to the shards (each shard intersects locally and truncates
+// before replying) and the contacted shard set is the marker-catalog
+// intersection of the equality predicates.
+func (g *Gatekeeper) LookupWhere(readTS core.Timestamp, wheres []wire.Where, limit int) ([]graph.VertexID, core.Timestamp, error) {
+	if len(wheres) == 0 {
+		return nil, readTS, fmt.Errorf("%w: empty predicate conjunction", ErrProgFailed)
+	}
+	return g.LookupOpts(readTS, LookupOptions{Wheres: wheres, Limit: limit})
+}
+
+// LookupOpts coordinates one planned scatter-gather index query; the
+// Lookup/LookupRange/LookupWhere wrappers are the public forms. Execution:
+//
+//  1. mint the query timestamp and pin the read snapshot (one critical
+//     section — see registerProg for why GC reporting makes this atomic);
+//  2. build the plan: read the marker catalog (AFTER the mint — the
+//     happens-before edge of package plan) and intersect equality
+//     predicates into the contacted shard set, or fall back to broadcast;
+//  3. scatter concurrently to the planned shards and gather;
+//  4. re-check the marker catalog and follow up on any shard whose marker
+//     appeared while the round was in flight (same read timestamp — the
+//     pin guarantees it is still answerable), until no new shard matches;
+//  5. merge: sort, deduplicate, truncate to the limit.
+//
+// Deduplication is load-bearing beyond the multi-round case: during a
+// vertex migration fence a posting can transiently exist on two shards, so
+// two shards of ONE round may both report the same vertex.
+func (g *Gatekeeper) LookupOpts(readTS core.Timestamp, opts LookupOptions) ([]graph.VertexID, core.Timestamp, error) {
 	tL := time.Now()
+	q := plan.Query{Wheres: opts.Wheres, Range: opts.Range, Limit: opts.Limit}
+	if len(q.Wheres) == 0 && !opts.Range {
+		// The legacy equality form is one OpEq predicate to the planner
+		// (the wire request keeps the legacy Key/Value fields).
+		q.Wheres = []wire.Where{{Key: opts.Key, Op: wire.OpEq, Value: opts.Value}}
+	}
+
 	// The pause lock gates issuance only, never the completion wait
-	// (exactly as runProgram): lookups REGISTERED before a migration
-	// pause complete behind it — the drain counts them — while lookups
-	// parked at the gate stay unregistered and launch after Resume with a
+	// (exactly as runProgram): lookups REGISTERED before a migration pause
+	// complete behind it — the drain counts them — while lookups parked at
+	// the gate stay unregistered and launch after Resume with a
 	// post-migration timestamp.
 	g.pause.RLock()
 	select {
@@ -64,44 +136,225 @@ func (g *Gatekeeper) lookup(readTS core.Timestamp, req wire.IndexLookup) ([]grap
 		return nil, readTS, ErrStopped
 	default:
 	}
-	// A fresh timestamp is the query's identity; minting it and
-	// registering the pending record happen in ONE critical section so GC
-	// watermark reports — which hold below every registered query — can
-	// never slip in between and advance past the fresh timestamp (see
-	// registerProg). A current-mode lookup (zero readTS) READS at this
-	// same registered timestamp, so its snapshot is GC-protected for the
-	// query's whole lifetime.
+	// Minting the query timestamp and pinning the read snapshot happen in
+	// ONE critical section so GC watermark reports — which hold below
+	// every pin — can never slip in between and advance past the fresh
+	// timestamp (see registerProg). The pin, rather than a registered
+	// pending record, is what protects the snapshot here: it must survive
+	// ACROSS scatter rounds, while each round registers its own pending.
+	g.mu.Lock()
+	qts := g.clock.Tick()
+	if readTS.Zero() {
+		readTS = qts
+	}
+	g.pinLocked(readTS)
+	g.mu.Unlock()
+	defer g.Unpin(readTS)
+
+	tr := g.m.tracer.Start()
+	// Plan. Marker catalog reads happen after the mint above: any
+	// transaction whose marker the catalog does NOT show minted after this
+	// query and is caught by the post-merge re-check if a shard saw it.
+	tPlan := time.Now()
+	eqs := plan.Equalities(q.Wheres)
+	var pl plan.Plan
+	switch {
+	case opts.ForceBroadcast:
+		pl = g.planner.Broadcast(q, "forced broadcast")
+	case g.cfg.DisablePlanning:
+		pl = g.planner.Broadcast(q, "planning disabled")
+	case len(g.indexed) == 0:
+		pl = g.planner.Broadcast(q, "no indexed keys configured")
+	case opts.Range || len(eqs) == 0:
+		pl = g.planner.Broadcast(q, "no equality predicate")
+	case !g.allIndexed(q.Wheres):
+		// Let the shards answer authoritatively with ErrCodeNoIndex.
+		pl = g.planner.Broadcast(q, "unindexed predicate key")
+	default:
+		pl = g.planner.Build(q)
+	}
+	g.m.plansBuilt.Inc()
+	if pl.Broadcast {
+		g.m.planFallback.Inc()
+	}
+	tScatter := time.Now()
+	g.m.planBuild.Dur(tScatter.Sub(tPlan))
+	tr.Span("plan_build", tPlan, tScatter)
+
+	req := wire.IndexLookup{
+		ReadTS: readTS,
+		Key:    opts.Key, Value: opts.Value,
+		Lo: opts.Lo, Hi: opts.Hi, Range: opts.Range,
+		Reply: g.ep.Addr(),
+		Trace: tr.ID(),
+	}
+	if len(opts.Wheres) > 0 {
+		req.Wheres = opts.Wheres
+		req.Limit = opts.Limit
+		g.m.planPushdown.Inc()
+	}
+
+	contacted := make(map[int]struct{}, g.cfg.NumShards)
+	var (
+		verts     []graph.VertexID
+		contacts  []plan.ShardContact
+		shardsNow = pl.Shards
+		followups = 0
+		holding   = true // pause read lock held
+		lerr      error
+	)
+	for {
+		if len(shardsNow) > 0 {
+			rv, rc, err := g.lookupRound(req, shardsNow, tr) // releases the pause lock
+			holding = false
+			if err != nil {
+				lerr = err
+				break
+			}
+			verts = append(verts, rv...)
+			contacts = append(contacts, rc...)
+			for _, s := range shardsNow {
+				contacted[s] = struct{}{}
+			}
+		} else if holding {
+			g.pause.RUnlock()
+			holding = false
+		}
+		if pl.Broadcast {
+			break // every shard contacted; nothing to re-check
+		}
+		// Post-merge marker re-check (soundness, see package plan): a
+		// marker that appeared since planning belongs to a transaction
+		// racing this query whose postings a contacted shard may have
+		// already served — visit its shard too, at the SAME read
+		// timestamp, so the racer is observed fully or not at all.
+		// Markers only accrete and each round retires its shards, so the
+		// loop is bounded by NumShards.
+		extra := g.planner.MatchShards(eqs, contacted)
+		if len(extra) == 0 {
+			break
+		}
+		followups++
+		g.m.planRechecks.Inc()
+		shardsNow = extra
+		g.pause.RLock()
+		holding = true
+		select {
+		case <-g.stop:
+			g.pause.RUnlock()
+			holding = false
+			lerr = ErrStopped
+		default:
+		}
+		if lerr != nil {
+			break
+		}
+	}
+	if holding {
+		g.pause.RUnlock()
+	}
+
+	g.m.lookupDur.Since(tL)
+	tr.SpanSince("index_lookup", tL)
+	g.m.tracer.Done(tr)
+	if lerr != nil {
+		return nil, readTS, lerr
+	}
+
+	tMerge := time.Now()
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	verts = dedupVertices(verts)
+	matched := len(verts)
+	if len(opts.Wheres) > 0 {
+		// Shards truncated locally, so the gatekeeper-side count can
+		// undercount; their pre-limit Matched totals are the honest
+		// actual-rows figure (double-counting only a mid-migration
+		// transient).
+		matched = 0
+		for _, c := range contacts {
+			matched += c.Matched
+		}
+	}
+	if opts.Limit > 0 && len(verts) > opts.Limit {
+		verts = verts[:opts.Limit]
+	}
+
+	g.m.planContacted.Add(uint64(len(contacted)))
+	g.m.planPruned.Add(uint64(g.cfg.NumShards - len(contacted)))
+	if pl.EstRows >= 0 {
+		g.m.planEstErr.Observe(uint64(absInt(pl.EstRows - matched)))
+	}
+	if ex := opts.Explain; ex != nil {
+		shards := make([]int, 0, len(contacted))
+		for s := range contacted {
+			shards = append(shards, s)
+		}
+		*ex = plan.Explanation{
+			Wheres:         q.Wheres,
+			Limit:          opts.Limit,
+			Broadcast:      pl.Broadcast,
+			FallbackReason: pl.FallbackReason,
+			Shards:         plan.SortShards(shards),
+			Pruned:         g.cfg.NumShards - len(contacted),
+			Rounds:         followups,
+			EstRows:        pl.EstRows,
+			ActualRows:     matched,
+			PlanTime:       tScatter.Sub(tPlan),
+			ScatterTime:    tMerge.Sub(tScatter),
+			MergeTime:      time.Since(tMerge),
+		}
+		for _, c := range contacts {
+			if est, ok := pl.PerShard[c.Shard]; ok {
+				c.EstRows = est
+			} else {
+				c.EstRows = -1
+			}
+			ex.PerShard = append(ex.PerShard, c)
+		}
+		sort.Slice(ex.PerShard, func(i, j int) bool { return ex.PerShard[i].Shard < ex.PerShard[j].Shard })
+	}
+	return verts, readTS, nil
+}
+
+// lookupRound issues one scatter round to the given shards and gathers
+// their replies. The pause read lock must be held on entry; it is released
+// once every send has been issued — issuance-only gating, so the
+// completion wait never blocks a migration pause. Sends go out
+// concurrently, one goroutine per shard: the round's issuance latency is
+// the slowest single send, not the sum — sequential sends would hold the
+// pause gate (and any migration batch queued behind it) for the full sum
+// under a slow or backpressured transport.
+func (g *Gatekeeper) lookupRound(req wire.IndexLookup, shards []int, tr *obs.Trace) ([]graph.VertexID, []plan.ShardContact, error) {
+	// Fresh tick + pending registration in one critical section
+	// (registerProg invariant); the round's timestamp is its identity for
+	// reply routing and holds the GC watermark while in flight.
 	g.mu.Lock()
 	qts := g.clock.Tick()
 	qid := qts.ID()
 	p := &lookupPending{
 		ts:        qts,
-		remaining: make(map[int]struct{}, g.cfg.NumShards),
+		remaining: make(map[int]struct{}, len(shards)),
 		done:      make(chan struct{}),
 	}
-	for s := 0; s < g.cfg.NumShards; s++ {
+	for _, s := range shards {
 		p.remaining[s] = struct{}{}
 	}
 	g.lookups[qid] = p
 	g.mu.Unlock()
 	g.lookupsStarted.Add(1)
-	if readTS.Zero() {
-		readTS = qts
-	}
-
-	// The gatekeeper holds the lookup trace's only completion token; shards
-	// echo the ID on their IndexResult replies.
-	tr := g.m.tracer.Start()
 	req.QID = qid
-	req.ReadTS = readTS
-	req.Reply = g.ep.Addr()
-	req.Trace = tr.ID()
-	for s := 0; s < g.cfg.NumShards; s++ {
-		if err := g.ep.Send(transport.ShardAddr(s), req); err != nil {
-			g.finishLookup(qid, p, fmt.Errorf("%w: shard %d unreachable: %v", ErrProgFailed, s, err))
-			break
-		}
+
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if err := g.ep.Send(transport.ShardAddr(s), req); err != nil {
+				g.finishLookup(qid, p, fmt.Errorf("%w: shard %d unreachable: %v", ErrProgFailed, s, err))
+			}
+		}(s)
 	}
+	wg.Wait()
 	g.pause.RUnlock()
 
 	select {
@@ -113,14 +366,39 @@ func (g *Gatekeeper) lookup(readTS core.Timestamp, req wire.IndexLookup) ([]grap
 		g.finishLookup(qid, p, ErrStopped)
 		<-p.done
 	}
-	g.m.lookupDur.Since(tL)
-	tr.SpanSince("index_lookup", tL)
-	g.m.tracer.Done(tr)
 	if p.err != nil {
-		return nil, readTS, p.err
+		return nil, nil, p.err
 	}
-	sort.Slice(p.vertices, func(i, j int) bool { return p.vertices[i] < p.vertices[j] })
-	return p.vertices, readTS, nil
+	return p.vertices, p.contacts, nil
+}
+
+// allIndexed reports whether every predicate key carries a secondary
+// index per this gatekeeper's configuration.
+func (g *Gatekeeper) allIndexed(ws []wire.Where) bool {
+	for _, w := range ws {
+		if _, ok := g.indexed[w.Key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupVertices collapses adjacent duplicates in a sorted slice, in place.
+func dedupVertices(vs []graph.VertexID) []graph.VertexID {
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func absInt(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
 }
 
 // handleIndexResult folds one shard's reply into the pending lookup.
@@ -149,6 +427,9 @@ func (g *Gatekeeper) handleIndexResult(m wire.IndexResult) {
 	}
 	delete(p.remaining, m.Shard)
 	p.vertices = append(p.vertices, m.Vertices...)
+	p.contacts = append(p.contacts, plan.ShardContact{
+		Shard: m.Shard, Rows: len(m.Vertices), Matched: m.Matched, Scanned: m.Scanned,
+	})
 	finished := len(p.remaining) == 0
 	g.mu.Unlock()
 	if finished {
@@ -156,7 +437,7 @@ func (g *Gatekeeper) handleIndexResult(m wire.IndexResult) {
 	}
 }
 
-// finishLookup completes a lookup exactly once.
+// finishLookup completes a lookup round exactly once.
 func (g *Gatekeeper) finishLookup(qid core.ID, p *lookupPending, err error) {
 	g.mu.Lock()
 	if _, live := g.lookups[qid]; !live {

@@ -76,6 +76,14 @@ func (g *Gatekeeper) CommitTx(reads []ReadCheck, ops []graph.Op) (CommitResult, 
 	}
 	tAdmit := time.Now()
 	g.m.queueWait.Dur(tAdmit.Sub(t0))
+	// Publish index presence markers BEFORE any timestamp is minted for
+	// this transaction: the marker-write < mint ordering is what lets the
+	// query planner prune shards soundly (planner.go, package plan). A
+	// failed marker write fails the commit — no timestamp or FIFO slot has
+	// been reserved yet, so nothing needs unwinding.
+	if err := g.writeIndexMarkers(ops); err != nil {
+		return CommitResult{}, err
+	}
 	// One trace per client-visible commit (sampled); retried attempts
 	// append their spans to the same trace, so a refinement retry shows up
 	// as repeated mint/execute spans rather than a separate trace.

@@ -395,6 +395,26 @@ func (ix *Index) Lookup(key, value string, before graph.Before) ([]graph.VertexI
 	return out, true
 }
 
+// VisibleValue reports v's visible value for the indexed key under the
+// visibility predicate — the per-vertex probe backing shard-side predicate
+// verification over an already-narrow candidate set, sparing the full
+// posting-list scan a LookupRange would cost. The second return is false
+// when the key is not indexed or v has no visible value for it.
+func (ix *Index) VisibleValue(key string, v graph.VertexID, before graph.Before) (string, bool) {
+	if ix == nil {
+		return "", false
+	}
+	kx := ix.keys[key]
+	if kx == nil {
+		return "", false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	kx.mu.Lock()
+	defer kx.mu.Unlock()
+	return ix.visibleValue(kx, v, before)
+}
+
 // LookupRange returns the vertices whose indexed property value lies in
 // [lo, hi] (lexicographic, inclusive) under the visibility predicate. An
 // empty lo means "from the smallest value"; an empty hi means "to the

@@ -1,0 +1,66 @@
+package index
+
+// Cardinality statistics for the query planner (internal/plan): per-key
+// distinct-value counts, candidate totals, and a small equi-depth value
+// histogram, computed from the live inverted maps. Because they are
+// DERIVED state, the statistics follow the index through every lifecycle
+// event for free — recovery and bulk ingest repopulate them via
+// InsertRecord, migration moves them via Detach/Attach — the shard just
+// re-publishes after each. They feed cost estimates only; shard-pruning
+// soundness rests on the backing-store marker catalog, never on these.
+
+// statsBuckets is the equi-depth histogram resolution. Eight buckets keep
+// an IndexStats frame small (§6-scale keys carry short values) while still
+// separating skewed hot values from the long tail.
+const statsBuckets = 8
+
+// KeyStats is the cardinality summary of one indexed key on this shard.
+type KeyStats struct {
+	Key string
+	// Distinct is the number of distinct candidate values — values some
+	// retained posting carries, a superset of any single snapshot's
+	// values.
+	Distinct int
+	// Postings is the total candidate-set membership across values: the
+	// planner's row-count proxy for this key on this shard.
+	Postings int
+	// Bounds are the upper bounds of an equi-depth histogram over the
+	// candidate values, ascending: each bucket covers roughly
+	// Postings/len(Bounds) memberships, so range selectivity is the
+	// fraction of buckets a predicate overlaps.
+	Bounds []string
+}
+
+// Stats summarizes every indexed key. Safe for concurrent use with the
+// apply path (it takes the same per-key locks lookups do); nil-receiver
+// safe like every Index method.
+func (ix *Index) Stats() []KeyStats {
+	if ix == nil {
+		return nil
+	}
+	out := make([]KeyStats, 0, len(ix.keys))
+	for key, kx := range ix.keys {
+		kx.mu.Lock()
+		st := KeyStats{Key: key, Distinct: len(kx.sorted)}
+		for _, set := range kx.candidates {
+			st.Postings += len(set)
+		}
+		if st.Postings > 0 {
+			depth := (st.Postings + statsBuckets - 1) / statsBuckets
+			acc := 0
+			for _, val := range kx.sorted {
+				acc += len(kx.candidates[val])
+				if acc >= depth {
+					st.Bounds = append(st.Bounds, val)
+					acc = 0
+				}
+			}
+			if last := kx.sorted[len(kx.sorted)-1]; len(st.Bounds) == 0 || st.Bounds[len(st.Bounds)-1] != last {
+				st.Bounds = append(st.Bounds, last)
+			}
+		}
+		kx.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}

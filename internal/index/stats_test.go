@@ -1,0 +1,70 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"weaver/internal/graph"
+)
+
+func TestStatsNilAndEmpty(t *testing.T) {
+	var nilIx *Index
+	if st := nilIx.Stats(); st != nil {
+		t.Fatalf("nil index Stats = %v, want nil", st)
+	}
+	ix := New([]Spec{{Key: "city"}})
+	st := ix.Stats()
+	if len(st) != 1 || st[0].Key != "city" {
+		t.Fatalf("empty index Stats = %+v, want one zero entry for city", st)
+	}
+	if st[0].Distinct != 0 || st[0].Postings != 0 || len(st[0].Bounds) != 0 {
+		t.Fatalf("empty key stats not zero: %+v", st[0])
+	}
+}
+
+func TestStatsCardinality(t *testing.T) {
+	ix := New([]Spec{{Key: "n"}})
+	// 16 vertices over 4 distinct values, 4 postings each.
+	vals := []string{"a", "b", "c", "d"}
+	for i := 0; i < 16; i++ {
+		vid := graph.VertexID(fmt.Sprintf("v%03d", i))
+		ix.ApplyTx([]graph.Op{createOp(vid), setOp(vid, "n", vals[i%4])}, ts(uint64(i+1)))
+	}
+	st := ix.Stats()
+	if len(st) != 1 {
+		t.Fatalf("Stats len = %d, want 1", len(st))
+	}
+	s := st[0]
+	if s.Distinct != 4 {
+		t.Fatalf("Distinct = %d, want 4", s.Distinct)
+	}
+	if s.Postings != 16 {
+		t.Fatalf("Postings = %d, want 16", s.Postings)
+	}
+	if len(s.Bounds) == 0 {
+		t.Fatalf("expected histogram bounds, got none")
+	}
+	if !sort.StringsAreSorted(s.Bounds) {
+		t.Fatalf("Bounds not sorted: %v", s.Bounds)
+	}
+	if last := s.Bounds[len(s.Bounds)-1]; last != "d" {
+		t.Fatalf("final bound = %q, want the largest value %q", last, "d")
+	}
+}
+
+func TestStatsCountSupersededVersions(t *testing.T) {
+	ix := New([]Spec{{Key: "city"}})
+	ix.ApplyTx([]graph.Op{createOp("v1"), setOp("v1", "city", "a")}, ts(1))
+	// Overwrite: the old posting stays in the version chain; Stats counts
+	// resident candidate postings (the cost of scanning them), so both
+	// versions are visible to the estimator.
+	ix.ApplyTx([]graph.Op{setOp("v1", "city", "b")}, ts(2))
+	st := ix.Stats()
+	if st[0].Distinct != 2 {
+		t.Fatalf("Distinct = %d, want 2 (a and b both resident)", st[0].Distinct)
+	}
+	if st[0].Postings != 2 {
+		t.Fatalf("Postings = %d, want 2", st[0].Postings)
+	}
+}

@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"weaver/internal/wire"
+)
+
+// fakeMarkers is an in-memory MarkerReader for planner unit tests.
+type fakeMarkers map[string]struct{}
+
+func (f fakeMarkers) set(key, value string, shard int) {
+	f[MarkerKey(key, value, shard)] = struct{}{}
+}
+
+func (f fakeMarkers) HasValue(key, value string, shard int) bool {
+	_, ok := f[MarkerKey(key, value, shard)]
+	return ok
+}
+
+func eq(key, value string) wire.Where { return wire.Where{Key: key, Op: wire.OpEq, Value: value} }
+
+func TestMarkerKeyDistinct(t *testing.T) {
+	keys := map[string]bool{}
+	for _, k := range []string{
+		MarkerKey("kind", "block", 0),
+		MarkerKey("kind", "block", 1),
+		MarkerKey("kind", "tx", 0),
+		MarkerKey("city", "block", 0),
+	} {
+		if keys[k] {
+			t.Fatalf("duplicate marker key %q", k)
+		}
+		keys[k] = true
+	}
+}
+
+func TestBuildPrunesToMarkedShards(t *testing.T) {
+	m := fakeMarkers{}
+	m.set("kind", "block", 1)
+	m.set("kind", "block", 3)
+	p := New(4, m)
+
+	pl := p.Build(Query{Wheres: []wire.Where{eq("kind", "block")}})
+	if pl.Broadcast {
+		t.Fatalf("equality query fell back to broadcast: %q", pl.FallbackReason)
+	}
+	if want := []int{1, 3}; !reflect.DeepEqual(pl.Shards, want) {
+		t.Fatalf("Shards = %v, want %v", pl.Shards, want)
+	}
+}
+
+func TestBuildConjunctionIntersectsMarkers(t *testing.T) {
+	m := fakeMarkers{}
+	m.set("kind", "block", 0)
+	m.set("kind", "block", 1)
+	m.set("city", "nyc", 1)
+	m.set("city", "nyc", 2)
+	p := New(4, m)
+
+	pl := p.Build(Query{Wheres: []wire.Where{eq("kind", "block"), eq("city", "nyc")}})
+	if want := []int{1}; !reflect.DeepEqual(pl.Shards, want) {
+		t.Fatalf("conjunction Shards = %v, want %v", pl.Shards, want)
+	}
+}
+
+func TestBuildEmptyPlanForUnknownValue(t *testing.T) {
+	p := New(4, fakeMarkers{})
+	pl := p.Build(Query{Wheres: []wire.Where{eq("kind", "nowhere")}})
+	if pl.Broadcast || len(pl.Shards) != 0 {
+		t.Fatalf("unknown value should plan zero shards, got %+v", pl)
+	}
+}
+
+func TestBuildBroadcastsWithoutEquality(t *testing.T) {
+	m := fakeMarkers{}
+	m.set("kind", "block", 2)
+	p := New(3, m)
+
+	for _, q := range []Query{
+		{Range: true},
+		{Wheres: []wire.Where{{Key: "kind", Op: wire.OpGe, Value: "a"}}},
+	} {
+		pl := p.Build(q)
+		if !pl.Broadcast {
+			t.Fatalf("query %+v should broadcast", q)
+		}
+		if want := []int{0, 1, 2}; !reflect.DeepEqual(pl.Shards, want) {
+			t.Fatalf("broadcast Shards = %v, want %v", pl.Shards, want)
+		}
+	}
+	// An inequality riding along with an equality still prunes.
+	pl := p.Build(Query{Wheres: []wire.Where{
+		eq("kind", "block"), {Key: "kind", Op: wire.OpGe, Value: "a"},
+	}})
+	if pl.Broadcast || !reflect.DeepEqual(pl.Shards, []int{2}) {
+		t.Fatalf("mixed conjunction should prune on the equality, got %+v", pl)
+	}
+}
+
+func TestMatchShardsSkipsContacted(t *testing.T) {
+	m := fakeMarkers{}
+	m.set("kind", "block", 0)
+	m.set("kind", "block", 2)
+	p := New(4, m)
+
+	got := p.MatchShards([]wire.Where{eq("kind", "block")}, map[int]struct{}{0: {}})
+	if want := []int{2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("MatchShards skip = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateEqualityUsesDistinct(t *testing.T) {
+	m := fakeMarkers{}
+	m.set("kind", "block", 0)
+	p := New(2, m)
+	p.Install(wire.IndexStats{Shard: 0, Keys: []wire.KeyCard{
+		{Key: "kind", Distinct: 4, Postings: 100},
+	}})
+
+	pl := p.Build(Query{Wheres: []wire.Where{eq("kind", "block")}})
+	if pl.EstRows != 25 {
+		t.Fatalf("EstRows = %d, want 25 (100 postings / 4 distinct)", pl.EstRows)
+	}
+	if pl.PerShard[0] != 25 {
+		t.Fatalf("PerShard[0] = %d, want 25", pl.PerShard[0])
+	}
+}
+
+func TestEstimateUnknownWithoutStats(t *testing.T) {
+	m := fakeMarkers{}
+	m.set("kind", "block", 0)
+	m.set("kind", "block", 1)
+	p := New(2, m)
+	p.Install(wire.IndexStats{Shard: 0, Keys: []wire.KeyCard{
+		{Key: "kind", Distinct: 2, Postings: 10},
+	}})
+	// Shard 1 never published: the total is unknown, the known shard keeps
+	// its component.
+	pl := p.Build(Query{Wheres: []wire.Where{eq("kind", "block")}})
+	if pl.EstRows != -1 {
+		t.Fatalf("EstRows = %d, want -1 with a stats-less shard contacted", pl.EstRows)
+	}
+	if pl.PerShard[0] != 5 || pl.PerShard[1] != -1 {
+		t.Fatalf("PerShard = %v, want {0:5 1:-1}", pl.PerShard)
+	}
+}
+
+func TestEstimateConjunctionTakesNarrowest(t *testing.T) {
+	m := fakeMarkers{}
+	m.set("kind", "block", 0)
+	m.set("city", "nyc", 0)
+	p := New(1, m)
+	p.Install(wire.IndexStats{Shard: 0, Keys: []wire.KeyCard{
+		{Key: "kind", Distinct: 2, Postings: 100},  // est 50
+		{Key: "city", Distinct: 50, Postings: 100}, // est 2
+	}})
+	pl := p.Build(Query{Wheres: []wire.Where{eq("kind", "block"), eq("city", "nyc")}})
+	if pl.EstRows != 2 {
+		t.Fatalf("EstRows = %d, want 2 (narrowest predicate)", pl.EstRows)
+	}
+}
+
+func TestEstimateInequalityHistogramOverlap(t *testing.T) {
+	card := wire.KeyCard{Key: "v", Distinct: 8, Postings: 80,
+		Bounds: []string{"b", "d", "f", "h"}} // depth 20 per bucket
+	// v >= "g" overlaps only the last bucket ("f","h"].
+	got := estimateWhere(card, wire.Where{Key: "v", Op: wire.OpGe, Value: "g"})
+	if got != 20 {
+		t.Fatalf("OpGe overlap estimate = %d, want 20", got)
+	}
+	// v <= "c" overlaps buckets 1 and 2 (lo "" and lo "b").
+	got = estimateWhere(card, wire.Where{Key: "v", Op: wire.OpLe, Value: "c"})
+	if got != 40 {
+		t.Fatalf("OpLe overlap estimate = %d, want 40", got)
+	}
+	// Unbounded side covers everything, capped at Postings.
+	got = estimateWhere(card, wire.Where{Key: "v", Op: wire.OpGe, Value: ""})
+	if got != 80 {
+		t.Fatalf("unbounded estimate = %d, want 80", got)
+	}
+}
+
+func TestBroadcastRecordsReason(t *testing.T) {
+	p := New(2, fakeMarkers{})
+	pl := p.Broadcast(Query{}, "planning disabled")
+	if !pl.Broadcast || pl.FallbackReason != "planning disabled" {
+		t.Fatalf("Broadcast plan = %+v", pl)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(pl.Shards, want) {
+		t.Fatalf("Broadcast shards = %v, want %v", pl.Shards, want)
+	}
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 
 	"weaver/internal/graph"
 	"weaver/internal/index"
@@ -50,12 +51,18 @@ func (s *Shard) answerLookup(m wire.IndexLookup) {
 	}
 	before := s.visible(m.ReadTS)
 	var (
-		ids     []graph.VertexID
-		indexed bool
+		ids              []graph.VertexID
+		indexed          bool
+		matched, scanned int
 	)
-	if m.Range {
+	switch {
+	case len(m.Wheres) > 0:
+		// Pushed-down predicate conjunction: Key/Value/Lo/Hi/Range are
+		// ignored by contract (wire.IndexLookup).
+		ids, matched, scanned, indexed = s.evalWheres(m.Wheres, m.Limit, before)
+	case m.Range:
 		ids, indexed = s.idx.LookupRange(m.Key, m.Lo, m.Hi, before)
-	} else {
+	default:
 		ids, indexed = s.idx.Lookup(m.Key, m.Value, before)
 	}
 	if !indexed {
@@ -63,12 +70,168 @@ func (s *Shard) answerLookup(m wire.IndexLookup) {
 			QID:     m.QID,
 			Shard:   s.cfg.ID,
 			ErrCode: wire.ErrCodeNoIndex,
-			Err:     fmt.Sprintf("shard %d: no index on property key %q", s.cfg.ID, m.Key),
+			Err:     fmt.Sprintf("shard %d: no index on queried property key(s)", s.cfg.ID),
 			Trace:   m.Trace,
 		})
 		return
 	}
-	s.ep.Send(m.Reply, wire.IndexResult{QID: m.QID, Shard: s.cfg.ID, Vertices: ids, Trace: m.Trace})
+	res := wire.IndexResult{QID: m.QID, Shard: s.cfg.ID, Vertices: ids, Trace: m.Trace}
+	if len(m.Wheres) > 0 {
+		// Matched/Scanned ride the wire only for pushed-down queries, so
+		// plain lookups keep their pre-extension frame bytes.
+		res.Matched, res.Scanned = matched, scanned
+	}
+	s.ep.Send(m.Reply, res)
+}
+
+// evalWheres evaluates a pushed-down predicate conjunction against the
+// secondary indexes at one visibility snapshot, sorted ascending and
+// truncated to limit — the deterministic shard-side half of the
+// gatekeeper's global merge (the global result is the first N of the
+// union, so each shard's first N suffice). matched is this shard's
+// pre-limit match count and scanned the candidate postings (or probes) the
+// evaluation touched — the planner's actual-cost feedback.
+//
+// Evaluation order is selectivity-driven: equality predicates seed the
+// candidate set straight from their posting lists (typically a handful of
+// vertices), and every remaining predicate is then verified per candidate
+// with a point probe (index.VisibleValue) — an inequality in a conjunction
+// that also has an equality never pays for materializing its full range.
+// Only an inequality-only conjunction falls back to range scans and set
+// intersection.
+//
+// Inequality strictness: the index's range layer is inclusive, so on the
+// range-scan path OpGt and OpLt evaluate the inclusive one-sided range and
+// subtract the boundary value's own matches — exact because vertex
+// properties are single-valued. An empty Value on an inequality means the
+// unbounded side, matching LookupRange's convention; whereHolds mirrors
+// both rules for the probe path.
+func (s *Shard) evalWheres(ws []wire.Where, limit int, before graph.Before) (ids []graph.VertexID, matched, scanned int, indexed bool) {
+	for _, w := range ws {
+		if !s.idx.HasKey(w.Key) || w.Op > wire.OpLt {
+			return nil, 0, 0, false
+		}
+	}
+	var eqs, rest []wire.Where
+	for _, w := range ws {
+		if w.Op == wire.OpEq {
+			eqs = append(eqs, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	if len(eqs) == 0 {
+		// No equality to seed from: materialize each range and intersect.
+		eqs, rest = ws, nil
+	}
+	var cur map[graph.VertexID]struct{}
+	for i, w := range eqs {
+		var vs []graph.VertexID
+		var ok bool
+		switch w.Op {
+		case wire.OpEq:
+			vs, ok = s.idx.Lookup(w.Key, w.Value, before)
+		case wire.OpGe:
+			vs, ok = s.idx.LookupRange(w.Key, w.Value, "", before)
+		case wire.OpLe:
+			vs, ok = s.idx.LookupRange(w.Key, "", w.Value, before)
+		case wire.OpGt:
+			vs, ok = s.rangeStrict(w.Key, w.Value, "", before)
+		case wire.OpLt:
+			vs, ok = s.rangeStrict(w.Key, "", w.Value, before)
+		}
+		if !ok {
+			return nil, 0, 0, false
+		}
+		scanned += len(vs)
+		if i == 0 {
+			cur = make(map[graph.VertexID]struct{}, len(vs))
+			for _, v := range vs {
+				cur[v] = struct{}{}
+			}
+		} else {
+			next := make(map[graph.VertexID]struct{}, min(len(cur), len(vs)))
+			for _, v := range vs {
+				if _, in := cur[v]; in {
+					next[v] = struct{}{}
+				}
+			}
+			cur = next
+		}
+		if len(cur) == 0 {
+			break // conjunction already empty; later predicates were key-checked above
+		}
+	}
+	for _, w := range rest {
+		if len(cur) == 0 {
+			break
+		}
+		scanned += len(cur)
+		for v := range cur {
+			if val, ok := s.idx.VisibleValue(w.Key, v, before); !ok || !whereHolds(w.Op, val, w.Value) {
+				delete(cur, v)
+			}
+		}
+	}
+	ids = make([]graph.VertexID, 0, len(cur))
+	for v := range cur {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	matched = len(ids)
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	return ids, matched, scanned, true
+}
+
+// whereHolds reports whether a visible value satisfies one predicate — the
+// probe-path twin of the range evaluation in evalWheres, including the
+// empty-bound-means-unbounded convention.
+func whereHolds(op byte, val, bound string) bool {
+	switch op {
+	case wire.OpEq:
+		return val == bound
+	case wire.OpGe:
+		return val >= bound // any value >= "", so the unbounded side is free
+	case wire.OpLe:
+		return bound == "" || val <= bound
+	case wire.OpGt:
+		return bound == "" || val > bound
+	case wire.OpLt:
+		return bound == "" || val < bound
+	}
+	return false
+}
+
+// rangeStrict is LookupRange with a strict bound on the non-empty side.
+func (s *Shard) rangeStrict(key, lo, hi string, before graph.Before) ([]graph.VertexID, bool) {
+	ids, ok := s.idx.LookupRange(key, lo, hi, before)
+	if !ok {
+		return nil, false
+	}
+	bound := lo
+	if bound == "" {
+		bound = hi
+	}
+	if bound == "" {
+		return ids, true // both sides unbounded: strictness is moot
+	}
+	ex, _ := s.idx.Lookup(key, bound, before)
+	if len(ex) == 0 {
+		return ids, true
+	}
+	drop := make(map[graph.VertexID]struct{}, len(ex))
+	for _, v := range ex {
+		drop[v] = struct{}{}
+	}
+	out := ids[:0]
+	for _, v := range ids {
+		if _, d := drop[v]; !d {
+			out = append(out, v)
+		}
+	}
+	return out, true
 }
 
 // DetachIndex removes and returns the encoded posting history of the

@@ -33,6 +33,7 @@ package shard
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +87,12 @@ type Config struct {
 	// maintains over its partition (internal/index); must be identical
 	// across all shards of a cluster. Empty = no indexes.
 	Indexes []index.Spec
+	// StatsPeriod bounds how often this shard publishes per-key index
+	// cardinality statistics (wire.IndexStats) to the gatekeepers for
+	// query-plan cost estimates. 0 = 250ms; negative disables publication
+	// (estimates degrade, pruning soundness is unaffected — it rests on
+	// the marker catalog, not statistics).
+	StatsPeriod time.Duration
 	// Obs is the metrics/tracing registry. Nil disables observability
 	// (every handle no-ops).
 	Obs *obs.Registry
@@ -163,10 +170,13 @@ type Shard struct {
 	// gcWM is the watermark of the most recent version collection: every
 	// version whose lifetime ended strictly before it is gone. Historical
 	// reads are answered only at or above it (§4.5). Event-loop owned.
-	gcWM     core.Timestamp
-	pager    Pager
-	pool     *workerPool
-	heat     *heatMap
+	gcWM  core.Timestamp
+	pager Pager
+	pool  *workerPool
+	heat  *heatMap
+	// statsAt is the last index-statistics publication instant
+	// (event-loop owned; see maybePublishStats).
+	statsAt  time.Time
 	pagedIn  atomic.Uint64
 	pagedOut atomic.Uint64
 
@@ -460,8 +470,54 @@ func (s *Shard) run() {
 		case <-s.ep.Recv():
 			s.drain()
 			s.pump()
+			s.maybePublishStats()
 		}
 	}
+}
+
+// maybePublishStats broadcasts this shard's index cardinality statistics
+// to every gatekeeper, rate-limited to one publication per StatsPeriod.
+// It runs on the event loop after each pump — the gatekeepers' NOP streams
+// keep the loop waking, so no dedicated timer is needed — and the first
+// call publishes immediately so planners have estimates soon after
+// startup, recovery, or bulk ingest.
+func (s *Shard) maybePublishStats() {
+	if s.cfg.StatsPeriod < 0 || len(s.cfg.Indexes) == 0 {
+		return
+	}
+	period := s.cfg.StatsPeriod
+	if period == 0 {
+		period = 250 * time.Millisecond
+	}
+	now := time.Now()
+	if !s.statsAt.IsZero() && now.Sub(s.statsAt) < period {
+		return
+	}
+	s.statsAt = now
+	st := s.IndexStats()
+	for i := 0; i < s.cfg.NumGatekeepers; i++ {
+		s.ep.Send(transport.GatekeeperAddr(i), st)
+	}
+	s.m.statsPublish.Inc()
+}
+
+// IndexStats snapshots this shard's per-key index cardinality statistics
+// in wire form, keys sorted for determinism. Safe to call off the event
+// loop (the index takes its own locks): the cluster pulls it synchronously
+// under the migration fence so planner estimates never lag a completed
+// batch.
+func (s *Shard) IndexStats() wire.IndexStats {
+	st := wire.IndexStats{Shard: s.cfg.ID}
+	for _, k := range s.idx.Stats() {
+		st.Keys = append(st.Keys, wire.KeyCard{
+			Key:      k.Key,
+			Distinct: uint64(k.Distinct),
+			Postings: uint64(k.Postings),
+			Bounds:   k.Bounds,
+		})
+	}
+	sort.Slice(st.Keys, func(i, j int) bool { return st.Keys[i].Key < st.Keys[j].Key })
+	return st
 }
 
 // drain ingests every message currently in the mailbox.

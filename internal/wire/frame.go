@@ -42,6 +42,7 @@ const (
 	tagOracleReq
 	tagOracleResp
 	tagHeartbeat
+	tagIndexStats
 )
 
 // frameCodec implements transport.FrameCodec over the message set above.
@@ -114,7 +115,16 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		buf = binenc.AppendStr(buf, m.Hi)
 		buf = binenc.AppendBool(buf, m.Range)
 		buf = binenc.AppendStr(buf, string(m.Reply))
-		buf = appendTrace(buf, m.Trace)
+		// Planner extension fields ride after the trace, which must then
+		// be encoded unconditionally (see appendTrace); without them the
+		// frame stays byte-identical to the PR-7 format.
+		if len(m.Wheres) > 0 || m.Limit > 0 {
+			buf = binenc.AppendUvarint(buf, m.Trace)
+			buf = appendWheres(buf, m.Wheres)
+			buf = binenc.AppendUvarint(buf, uint64(m.Limit))
+		} else {
+			buf = appendTrace(buf, m.Trace)
+		}
 	case IndexResult:
 		buf = append(buf, tagIndexResult)
 		buf = binenc.AppendID(buf, m.QID)
@@ -125,7 +135,27 @@ func (frameCodec) Append(buf []byte, payload any) ([]byte, bool) {
 		}
 		buf = binenc.AppendStr(buf, m.Err)
 		buf = binenc.AppendVarint(buf, int64(m.ErrCode))
-		buf = appendTrace(buf, m.Trace)
+		if m.Matched > 0 || m.Scanned > 0 {
+			buf = binenc.AppendUvarint(buf, m.Trace)
+			buf = binenc.AppendUvarint(buf, uint64(m.Matched))
+			buf = binenc.AppendUvarint(buf, uint64(m.Scanned))
+		} else {
+			buf = appendTrace(buf, m.Trace)
+		}
+	case IndexStats:
+		buf = append(buf, tagIndexStats)
+		buf = binenc.AppendVarint(buf, int64(m.Shard))
+		buf = binenc.AppendUvarint(buf, uint64(len(m.Keys)))
+		for i := range m.Keys {
+			k := &m.Keys[i]
+			buf = binenc.AppendStr(buf, k.Key)
+			buf = binenc.AppendUvarint(buf, k.Distinct)
+			buf = binenc.AppendUvarint(buf, k.Postings)
+			buf = binenc.AppendUvarint(buf, uint64(len(k.Bounds)))
+			for _, b := range k.Bounds {
+				buf = binenc.AppendStr(buf, b)
+			}
+		}
 	case GCReport:
 		buf = append(buf, tagGCReport)
 		buf = binenc.AppendVarint(buf, int64(m.GK))
@@ -244,7 +274,14 @@ func (frameCodec) Decode(data []byte) (any, error) {
 			Lo: d.Str(), Hi: d.Str(), Range: d.Bool(),
 			Reply: transport.Addr(d.Str()),
 		}
+		// Trailing layout disambiguates by remaining bytes: empty = no
+		// trace and no extension (old frames), trace only (PR-7 frames),
+		// or trace + planner extension (Wheres, Limit).
 		m.Trace = decodeTrace(d)
+		if len(d.Buf) > 0 && d.Err == nil {
+			m.Wheres = decodeWheres(d)
+			m.Limit = int(d.Uvarint())
+		}
 		v = m
 	case tagIndexResult:
 		m := IndexResult{QID: d.ID(), Shard: int(d.Varint())}
@@ -257,6 +294,26 @@ func (frameCodec) Decode(data []byte) (any, error) {
 		m.Err = d.Str()
 		m.ErrCode = int(d.Varint())
 		m.Trace = decodeTrace(d)
+		if len(d.Buf) > 0 && d.Err == nil {
+			m.Matched = int(d.Uvarint())
+			m.Scanned = int(d.Uvarint())
+		}
+		v = m
+	case tagIndexStats:
+		m := IndexStats{Shard: int(d.Varint())}
+		if n := d.Count(4); n > 0 && d.Err == nil { // key ≥4 bytes: 3 prefixes + bounds count
+			m.Keys = make([]KeyCard, 0, n)
+			for i := uint64(0); i < n && d.Err == nil; i++ {
+				k := KeyCard{Key: d.Str(), Distinct: d.Uvarint(), Postings: d.Uvarint()}
+				if b := d.Count(1); b > 0 && d.Err == nil {
+					k.Bounds = make([]string, 0, b)
+					for j := uint64(0); j < b && d.Err == nil; j++ {
+						k.Bounds = append(k.Bounds, d.Str())
+					}
+				}
+				m.Keys = append(m.Keys, k)
+			}
+		}
 		v = m
 	case tagGCReport:
 		v = GCReport{GK: int(d.Varint()), TS: d.TS(), OracleTS: d.TS()}
@@ -337,6 +394,29 @@ func decodeTrace(d *binenc.Decoder) uint64 {
 		return 0
 	}
 	return d.Uvarint()
+}
+
+func appendWheres(buf []byte, ws []Where) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(len(ws)))
+	for i := range ws {
+		w := &ws[i]
+		buf = binenc.AppendStr(buf, w.Key)
+		buf = append(buf, w.Op)
+		buf = binenc.AppendStr(buf, w.Value)
+	}
+	return buf
+}
+
+func decodeWheres(d *binenc.Decoder) []Where {
+	n := d.Count(3) // ≥3 bytes per predicate: two prefixes + op
+	if n == 0 || d.Err != nil {
+		return nil
+	}
+	ws := make([]Where, 0, n)
+	for i := uint64(0); i < n && d.Err == nil; i++ {
+		ws = append(ws, Where{Key: d.Str(), Op: d.Byte(), Value: d.Str()})
+	}
+	return ws
 }
 
 func appendOps(buf []byte, ops []graph.Op) []byte {

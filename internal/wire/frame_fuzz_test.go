@@ -97,8 +97,17 @@ func randomMessage(r *rand.Rand) any {
 			SpawnedIDs: []uint64{r.Uint64(), r.Uint64()}, Results: [][]byte{[]byte(rs(30))},
 			Err: rs(10), ErrCode: r.Intn(3), Trace: rtrace()}
 	case 3:
-		return IndexLookup{QID: rts().ID(), ReadTS: rts(), Key: rs(6), Value: rs(10),
+		m := IndexLookup{QID: rts().ID(), ReadTS: rts(), Key: rs(6), Value: rs(10),
 			Lo: rs(4), Hi: rs(4), Range: r.Intn(2) == 0, Reply: "gk/1", Trace: rtrace()}
+		// Half the lookups carry the planner extension so the trailing
+		// trace/Wheres/Limit layout is fuzzed in both states.
+		if r.Intn(2) == 0 {
+			for i := 0; i < 1+r.Intn(3); i++ {
+				m.Wheres = append(m.Wheres, Where{Key: rs(6), Op: byte(r.Intn(5)), Value: rs(8)})
+			}
+			m.Limit = r.Intn(20)
+		}
+		return m
 	default:
 		return KVResp{ID: r.Uint64(), Value: []byte(rs(40)), Version: r.Uint64(), OK: true,
 			Keys: []string{rs(8)}, Vals: [][]byte{[]byte(rs(8))}}

@@ -54,9 +54,22 @@ func sampleMessages() []any {
 		IndexLookup{QID: qid, ReadTS: ts(1, 1, 3, 3), Key: "city", Value: "ithaca", Reply: "gk/2"},
 		IndexLookup{QID: qid, Key: "age", Lo: "10", Hi: "42", Range: true, Reply: "gk/0"},
 		IndexLookup{QID: qid, Key: "city", Value: "ithaca", Reply: "gk/2", Trace: 99},
+		IndexLookup{QID: qid, ReadTS: ts(1, 1, 3, 3), Reply: "gk/2", Wheres: []Where{
+			{Key: "city", Op: OpEq, Value: "ithaca"},
+			{Key: "age", Op: OpGe, Value: "21"},
+		}, Limit: 10},
+		IndexLookup{QID: qid, Reply: "gk/0", Trace: 7, Wheres: []Where{{Key: "k", Op: OpLt, Value: "z"}}},
+		IndexLookup{QID: qid, Reply: "gk/1", Limit: 3}, // limit without predicates
 		IndexResult{QID: qid, Shard: 2, Vertices: []graph.VertexID{"v1", "v2"}},
 		IndexResult{QID: qid, Shard: 1, Err: "no index", ErrCode: ErrCodeNoIndex},
 		IndexResult{QID: qid, Shard: 0, Vertices: []graph.VertexID{"v3"}, Trace: 99},
+		IndexResult{QID: qid, Shard: 3, Vertices: []graph.VertexID{"v1"}, Matched: 9, Scanned: 41, Trace: 8},
+		IndexResult{QID: qid, Shard: 5, Matched: 2, Scanned: 2},
+		IndexStats{Shard: 3, Keys: []KeyCard{
+			{Key: "city", Distinct: 64, Postings: 4096, Bounds: []string{"c015", "c031", "c063"}},
+			{Key: "age", Distinct: 1, Postings: 12},
+		}},
+		IndexStats{Shard: 0},
 		GCReport{GK: 2, TS: ts(1, 2, 8, 8, 8), OracleTS: ts(1, 2, 9, 9, 9)},
 		GCReport{GK: 0},
 		ShardGCReport{Shard: 4, TS: ts(2, 0, 1, 1)},
@@ -239,6 +252,52 @@ func TestTraceFieldOldFrameCompat(t *testing.T) {
 		if !reflect.DeepEqual(normalizeMsg(untraced), normalizeMsg(got)) {
 			t.Fatalf("%T: old frame did not decode to Trace==0:\n%#v", traced, got)
 		}
+	}
+}
+
+// TestIndexPlannerExtensionCompat pins the append-only evolution of the
+// planner fields (Wheres/Limit on IndexLookup, Matched/Scanned on
+// IndexResult): an extended frame is the traced frame plus trailing
+// bytes, an unextended frame keeps the PR-7 encoding exactly, and a
+// pre-extension frame decodes with the new fields zero.
+func TestIndexPlannerExtensionCompat(t *testing.T) {
+	var c frameCodec
+	qid := ts(1, 0, 5, 3).ID()
+
+	look := IndexLookup{QID: qid, ReadTS: ts(1, 1, 3, 3), Key: "city", Value: "x", Reply: "gk/0", Trace: 9}
+	oldBuf, _ := c.Append(nil, look)
+	ext := look
+	ext.Wheres = []Where{{Key: "city", Op: OpEq, Value: "x"}}
+	ext.Limit = 3
+	newBuf, _ := c.Append(nil, ext)
+	if len(newBuf) <= len(oldBuf) || string(newBuf[:len(oldBuf)]) != string(oldBuf) {
+		t.Fatal("IndexLookup planner extension is not append-only after the trace")
+	}
+	got, err := c.Decode(oldBuf)
+	if err != nil {
+		t.Fatalf("pre-extension IndexLookup frame: %v", err)
+	}
+	if m := got.(IndexLookup); m.Wheres != nil || m.Limit != 0 {
+		t.Fatalf("pre-extension frame decoded with planner fields set: %#v", m)
+	}
+
+	res := IndexResult{QID: qid, Shard: 2, Vertices: []graph.VertexID{"v1"}, Trace: 5}
+	oldBuf, _ = c.Append(nil, res)
+	rext := res
+	rext.Matched, rext.Scanned = 7, 31
+	newBuf, _ = c.Append(nil, rext)
+	if len(newBuf) <= len(oldBuf) || string(newBuf[:len(oldBuf)]) != string(oldBuf) {
+		t.Fatal("IndexResult planner extension is not append-only after the trace")
+	}
+	if got, err := c.Decode(oldBuf); err != nil {
+		t.Fatalf("pre-extension IndexResult frame: %v", err)
+	} else if m := got.(IndexResult); m.Matched != 0 || m.Scanned != 0 {
+		t.Fatalf("pre-extension frame decoded with planner fields set: %#v", m)
+	}
+
+	// Trailing bytes after the extension are still corruption.
+	if _, err := c.Decode(append(newBuf, 0x01)); err == nil {
+		t.Fatal("trailing bytes after the planner extension must fail decode")
 	}
 }
 

@@ -97,6 +97,7 @@ func RegisterGob() {
 	gob.Register(ProgFinish{})
 	gob.Register(IndexLookup{})
 	gob.Register(IndexResult{})
+	gob.Register(IndexStats{})
 	gob.Register(GCReport{})
 	gob.Register(ShardGCReport{})
 	gob.Register(EpochChange{})

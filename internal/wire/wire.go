@@ -130,14 +130,38 @@ const (
 	ErrCodeNoIndex = 2
 )
 
+// Where is one predicate of a multi-predicate index query: the planner
+// (internal/plan) builds conjunctions of these and pushes them down to the
+// shards, which intersect the per-predicate match sets locally before
+// replying. Op is one of the Op* comparison constants; every comparison is
+// lexicographic over the property's string value, matching LookupRange.
+type Where struct {
+	Key   string
+	Op    byte
+	Value string
+}
+
+// Comparison operators for Where.Op. OpGe/OpLe are inclusive, OpGt/OpLt
+// strict. An empty Value under an inequality operator behaves as an
+// unbounded side (the LookupRange convention), not as a comparison against
+// the empty string.
+const (
+	OpEq byte = iota // property == Value
+	OpGe             // property >= Value
+	OpLe             // property <= Value
+	OpGt             // property >  Value
+	OpLt             // property <  Value
+)
+
 // IndexLookup asks one shard to evaluate a secondary-index query at a
 // snapshot: the scatter half of a cluster-wide index lookup. The
-// coordinating gatekeeper fans the same message out to every shard and
-// merges the IndexResult replies. ReadTS is the timestamp the lookup reads
-// at — the shard delays evaluation until every transaction at or before it
-// has applied (exactly the node-program readiness rule, §4.1), so a lookup
-// can never observe a phantom from a concurrent writer, and rejects
-// timestamps behind the GC watermark with ErrCodeStaleSnapshot.
+// coordinating gatekeeper fans the same message out to the planned shard
+// set (all shards on the broadcast fallback) and merges the IndexResult
+// replies. ReadTS is the timestamp the lookup reads at — the shard delays
+// evaluation until every transaction at or before it has applied (exactly
+// the node-program readiness rule, §4.1), so a lookup can never observe a
+// phantom from a concurrent writer, and rejects timestamps behind the GC
+// watermark with ErrCodeStaleSnapshot.
 type IndexLookup struct {
 	QID    core.ID
 	ReadTS core.Timestamp
@@ -152,6 +176,17 @@ type IndexLookup struct {
 	// Trace is the obs trace ID (0 = untraced); append-only trailing
 	// wire field, see TxForward.Trace.
 	Trace uint64
+	// Wheres is the planner's pushed-down predicate conjunction: when
+	// non-empty the shard ignores Key/Value/Lo/Hi/Range and returns
+	// vertices matching EVERY predicate at ReadTS. Limit > 0 additionally
+	// truncates the shard's reply to its first Limit matches in ascending
+	// vertex order (the global result is the first N of the merged sorted
+	// union, so per-shard prefixes suffice). Both are append-only trailing
+	// wire fields AFTER Trace: frames carrying them encode Trace
+	// unconditionally, frames without them keep the PR-7 format, and old
+	// frames decode with Wheres == nil, Limit == 0.
+	Wheres []Where
+	Limit  int
 }
 
 // IndexResult is one shard's half of a scatter-gather index lookup: the
@@ -166,6 +201,37 @@ type IndexResult struct {
 	// Trace echoes the lookup's obs trace ID (0 = untraced);
 	// append-only trailing wire field, see TxForward.Trace.
 	Trace uint64
+	// Matched is the shard-local match count BEFORE limit truncation and
+	// Scanned the number of per-predicate candidate postings examined —
+	// the planner's actual-vs-estimated feedback, populated only for
+	// pushed-down queries (Wheres/Limit set). Append-only trailing wire
+	// fields after Trace, same discipline as IndexLookup.Wheres.
+	Matched int
+	Scanned int
+}
+
+// IndexStats carries one shard's per-key index cardinality statistics to
+// the gatekeepers' planners: distinct-value counts, total postings, and a
+// small equi-depth value histogram per indexed key. Shards publish it
+// periodically from the event loop and synchronously under the migration
+// fence (so planners never estimate from a shard the postings just left).
+// Statistics steer only cost ESTIMATES — shard pruning soundness comes
+// from the value-presence marker catalog in the backing store
+// (internal/plan) — so a stale or lost stats message can never change
+// query results.
+type IndexStats struct {
+	Shard int
+	Keys  []KeyCard
+}
+
+// KeyCard is the cardinality summary of one indexed key on one shard.
+// Bounds are the upper bounds of an equi-depth histogram over the key's
+// candidate values (ascending; ~Postings/len(Bounds) postings per bucket).
+type KeyCard struct {
+	Key      string
+	Distinct uint64
+	Postings uint64
+	Bounds   []string
 }
 
 // ProgDelta reports execution progress from a shard to the coordinator:

@@ -37,7 +37,9 @@ import (
 
 	"weaver/internal/gatekeeper"
 	"weaver/internal/graph"
+	"weaver/internal/index"
 	"weaver/internal/partition"
+	"weaver/internal/plan"
 	"weaver/internal/shard"
 )
 
@@ -297,15 +299,67 @@ func (c *Cluster) MigrateBatch(moves []Move) (int, error) {
 		mapped.Assign(st.rec.ID, st.rec.Shard)
 	}
 	var idxErrs []error
+	markers := make(map[string]struct{})
 	for ln, ids := range byLane {
-		if data := shards[ln.src].DetachIndex(ids); len(data) > 0 {
-			if err := shards[ln.dst].AttachIndex(data); err != nil {
-				idxErrs = append(idxErrs, err)
+		data := shards[ln.src].DetachIndex(ids)
+		if len(data) == 0 {
+			continue
+		}
+		// Every posting value landing on the destination enters the marker
+		// catalog — including historical versions, so pinned-snapshot
+		// lookups plan toward the vertex's new home. Source markers stay:
+		// they are monotone, and a stale marker only costs an empty visit.
+		if p, err := index.DecodePostings(data); err == nil {
+			for key, byVertex := range p.Keys {
+				for _, chain := range byVertex {
+					for _, post := range chain {
+						markers[plan.MarkerKey(key, post.Value, ln.dst)] = struct{}{}
+					}
+				}
 			}
+		}
+		if err := shards[ln.dst].AttachIndex(data); err != nil {
+			idxErrs = append(idxErrs, err)
 		}
 	}
 	for target, recs := range perTarget {
+		// Paged-out vertices install from their last committed record; its
+		// current properties are what the target index reconciles in.
+		for _, rec := range recs {
+			for _, spec := range c.cfg.Indexes {
+				if v, ok := rec.Props[spec.Key]; ok {
+					markers[plan.MarkerKey(spec.Key, v, target)] = struct{}{}
+				}
+			}
+		}
 		shards[target].Install(recs)
+	}
+	if len(markers) > 0 {
+		keys := make([]string, 0, len(markers))
+		for k := range markers {
+			keys = append(keys, k)
+		}
+		if err := gks[0].PublishMarkers(keys); err != nil {
+			idxErrs = append(idxErrs, fmt.Errorf("weaver: migrate markers: %w", err))
+		}
+	}
+	// Synchronous statistics refresh for the shards whose partitions just
+	// changed, so planner cost estimates never lag a completed batch behind
+	// the periodic publication cycle.
+	if len(c.cfg.Indexes) > 0 {
+		touched := make(map[int]struct{}, 2*len(byLane))
+		for ln := range byLane {
+			touched[ln.src], touched[ln.dst] = struct{}{}, struct{}{}
+		}
+		for target := range perTarget {
+			touched[target] = struct{}{}
+		}
+		for s := range touched {
+			st := shards[s].IndexStats()
+			for _, gk := range gks {
+				gk.InstallIndexStats(st)
+			}
+		}
 	}
 
 	c.recordMoves(len(stage), skipped)

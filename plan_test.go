@@ -1,0 +1,330 @@
+// Query-planner suite: cost-based shard pruning, predicate/limit pushdown,
+// EXPLAIN, and the planner-equivalence property — planned execution must be
+// byte-identical to a forced broadcast at the same snapshot, for any graph,
+// predicate conjunction, and migration history.
+package weaver_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"weaver"
+	"weaver/internal/workload"
+)
+
+// planConfig is indexConfig with a second indexed key so conjunction
+// queries have two independent dimensions.
+func planConfig(shards int) weaver.Config {
+	cfg := indexConfig(shards)
+	cfg.Indexes = []weaver.IndexSpec{{Key: "city"}, {Key: "kind"}}
+	cfg.HistoryRetention = 5 * time.Second
+	cfg.GCPeriod = 20 * time.Millisecond
+	return cfg
+}
+
+// TestPlannerEquivalenceRandomized is the planner's soundness property
+// test: random graphs, random predicate conjunctions (all five operators,
+// random limits), and random migration batches — at every step the planned
+// execution (marker-catalog pruning, pushdown, early truncation) must
+// return exactly what a forced broadcast returns at the SAME snapshot,
+// both at the fresh timestamp the planned query minted and at a pinned
+// historical timestamp. A background writer keeps commits racing the
+// queries so the marker re-check path is exercised. Replay failures with
+// WEAVER_TEST_SEED.
+func TestPlannerEquivalenceRandomized(t *testing.T) {
+	seed := workload.TestSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		nV     = 40
+		nVals  = 5
+		nKinds = 3
+		rounds = 50
+	)
+	c, err := weaver.Open(planConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	vid := func(i int) weaver.VertexID { return weaver.VertexID(fmt.Sprintf("p%02d", i)) }
+	city := func(k int) string { return fmt.Sprintf("c%d", k) }
+	kind := func(k int) string { return fmt.Sprintf("k%d", k) }
+
+	setup := c.Client()
+	if _, err := setup.RunTx(func(tx *weaver.Tx) error {
+		for i := 0; i < nV; i++ {
+			tx.CreateVertex(vid(i))
+			if rng.Intn(10) > 0 { // some vertices stay property-less
+				tx.SetProperty(vid(i), "city", city(rng.Intn(nVals)))
+			}
+			if rng.Intn(10) > 2 {
+				tx.SetProperty(vid(i), "kind", kind(rng.Intn(nKinds)))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Racing writer: commits concurrent with every query below, so plans
+	// race marker publications and the post-merge re-check earns its keep.
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		wrng := rand.New(rand.NewSource(seed + 1))
+		wcl := c.Client()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := vid(wrng.Intn(nV))
+			wcl.RunTx(func(tx *weaver.Tx) error {
+				tx.SetProperty(v, "city", city(wrng.Intn(nVals)))
+				return nil
+			})
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	defer wwg.Wait()
+	defer close(stop)
+
+	// randomWheres builds 1-2 predicates over the two indexed keys with
+	// random operators; values sometimes name nothing (empty-plan path).
+	ops := []byte{weaver.OpEq, weaver.OpGe, weaver.OpLe, weaver.OpGt, weaver.OpLt}
+	randomWheres := func() []weaver.Where {
+		n := 1 + rng.Intn(2)
+		ws := make([]weaver.Where, 0, n)
+		for i := 0; i < n; i++ {
+			var key, val string
+			if rng.Intn(2) == 0 {
+				key, val = "city", city(rng.Intn(nVals+1)) // nVals = absent value
+			} else {
+				key, val = "kind", kind(rng.Intn(nKinds+1))
+			}
+			ws = append(ws, weaver.Where{Key: key, Op: ops[rng.Intn(len(ops))], Value: val})
+		}
+		return ws
+	}
+
+	cl := c.Client()
+	checked, staleSkips := 0, 0
+	for round := 0; round < rounds; round++ {
+		// Random churn: one mutation batch, periodically a migration.
+		v := vid(rng.Intn(nV))
+		if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+			_, alive, err := tx.GetVertex(v)
+			if err != nil {
+				return err
+			}
+			switch {
+			case !alive:
+				tx.CreateVertex(v)
+				tx.SetProperty(v, "city", city(rng.Intn(nVals)))
+			case rng.Intn(5) == 0:
+				tx.DeleteVertex(v)
+			case rng.Intn(3) == 0:
+				tx.DelProperty(v, "city")
+			default:
+				tx.SetProperty(v, "city", city(rng.Intn(nVals)))
+				tx.SetProperty(v, "kind", kind(rng.Intn(nKinds)))
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d churn: %v", round, err)
+		}
+		if round%7 == 3 {
+			seen := map[weaver.VertexID]bool{}
+			var moves []weaver.Move
+			for len(moves) < 5 {
+				mv := vid(rng.Intn(nV))
+				if !seen[mv] {
+					seen[mv] = true
+					moves = append(moves, weaver.Move{Vertex: mv, Target: rng.Intn(4)})
+				}
+			}
+			if _, err := c.MigrateBatch(moves); err != nil {
+				t.Fatalf("round %d migrate: %v", round, err)
+			}
+		}
+
+		wheres := randomWheres()
+		limit := rng.Intn(4) // 0 = unlimited
+
+		// Fresh: planned mints the snapshot, the broadcast oracle re-reads
+		// at that exact timestamp.
+		planned, ts, err := cl.LookupWhere(limit, wheres...)
+		if err != nil {
+			t.Fatalf("round %d planned %v: %v", round, wheres, err)
+		}
+		oracle, err := cl.At(ts).BroadcastWhere(limit, wheres...)
+		if err != nil {
+			if errors.Is(err, weaver.ErrStaleSnapshot) {
+				staleSkips++
+				continue
+			}
+			t.Fatalf("round %d broadcast %v: %v", round, wheres, err)
+		}
+		if !reflect.DeepEqual(sortedIDs(planned), sortedIDs(oracle)) {
+			t.Fatalf("round %d: planned %v != broadcast %v for %v limit %d at %v (seed %d)",
+				round, planned, oracle, wheres, limit, ts, seed)
+		}
+		checked++
+
+		// Pinned historical: both strategies at one pinned timestamp.
+		snap, err := c.SnapshotTS()
+		if err != nil {
+			t.Fatalf("round %d pin: %v", round, err)
+		}
+		rc := cl.At(snap.TS())
+		hPlanned, err := rc.LookupWhere(limit, wheres...)
+		if err == nil {
+			var hOracle []weaver.VertexID
+			hOracle, err = rc.BroadcastWhere(limit, wheres...)
+			if err == nil && !reflect.DeepEqual(sortedIDs(hPlanned), sortedIDs(hOracle)) {
+				snap.Close()
+				t.Fatalf("round %d pinned: planned %v != broadcast %v for %v limit %d (seed %d)",
+					round, hPlanned, hOracle, wheres, limit, seed)
+			}
+		}
+		snap.Close()
+		if err != nil {
+			t.Fatalf("round %d pinned lookup %v: %v", round, wheres, err)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no equivalence checks ran")
+	}
+	t.Logf("planner equivalence: %d checks, %d stale skips, seed %d", checked, staleSkips, seed)
+}
+
+// TestExplainReportsPruning is the EXPLAIN acceptance test: a selective
+// equality query must contact strictly fewer shards than the cluster
+// holds, report which, and reconcile estimated against actual rows once
+// statistics arrive.
+func TestExplainReportsPruning(t *testing.T) {
+	const shards = 4
+	c, err := weaver.Open(planConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.Client()
+
+	evid := func(i int) weaver.VertexID { return weaver.VertexID(fmt.Sprintf("e%02d", i)) }
+	if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+		for i := 0; i < 20; i++ {
+			tx.CreateVertex(evid(i))
+			tx.SetProperty(evid(i), "city", "common")
+			tx.SetProperty(evid(i), "kind", fmt.Sprintf("k%d", i%2))
+		}
+		tx.SetProperty(evid(5), "city", "rare")
+		tx.SetProperty(evid(12), "city", "rare")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Selective value on two vertices: at most two owning shards, so at
+	// least two of four are pruned.
+	ids, ex, err := cl.Explain("city", "rare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []weaver.VertexID{evid(5), evid(12)}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Explain result %v, want %v", ids, want)
+	}
+	if ex.Broadcast {
+		t.Fatalf("selective equality broadcast: %+v", ex)
+	}
+	if len(ex.Shards) == 0 || len(ex.Shards) > 2 {
+		t.Fatalf("rare value should contact <=2 shards, contacted %v", ex.Shards)
+	}
+	if ex.Pruned < shards-2 || ex.Pruned+len(ex.Shards) != shards {
+		t.Fatalf("pruned accounting wrong: %+v", ex)
+	}
+	if ex.ActualRows != 2 {
+		t.Fatalf("ActualRows = %d, want 2", ex.ActualRows)
+	}
+	if len(ex.PerShard) != len(ex.Shards) {
+		t.Fatalf("PerShard rows %d != contacted %d", len(ex.PerShard), len(ex.Shards))
+	}
+
+	// A value the catalog has never seen plans zero shards — provably
+	// empty without contacting anyone.
+	ids, ex, err = cl.Explain("city", "absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 || len(ex.Shards) != 0 || ex.Pruned != shards {
+		t.Fatalf("absent value: ids=%v explain=%+v", ids, ex)
+	}
+
+	// Conjunction with limit: pushdown, and the limit truncates to the
+	// first match by vertex ID.
+	ids, ex, err = cl.ExplainWhere(1,
+		weaver.Where{Key: "city", Op: weaver.OpEq, Value: "rare"},
+		weaver.Where{Key: "kind", Op: weaver.OpGe, Value: ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []weaver.VertexID{evid(5)}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("limited conjunction = %v, want %v", ids, want)
+	}
+	if ex.Broadcast || len(ex.Shards) > 2 || ex.Limit != 1 {
+		t.Fatalf("conjunction explain: %+v", ex)
+	}
+	if ex.ActualRows != 2 {
+		t.Fatalf("ActualRows = %d, want pre-limit 2", ex.ActualRows)
+	}
+
+	// An inequality-only conjunction has no equality to prune on: broadcast
+	// with the reason recorded.
+	_, ex, err = cl.ExplainWhere(0, weaver.Where{Key: "city", Op: weaver.OpGe, Value: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Broadcast || ex.FallbackReason != "no equality predicate" || len(ex.Shards) != shards {
+		t.Fatalf("inequality-only explain: %+v", ex)
+	}
+
+	// Statistics publish within a few StatsPeriods; estimates then appear
+	// in EXPLAIN (commits keep the shard event loops turning).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, ex, err = cl.Explain("city", "common")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.EstRows >= 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("statistics never reached the planner: %+v", ex)
+		}
+		if _, err := cl.RunTx(func(tx *weaver.Tx) error {
+			tx.SetProperty(evid(0), "city", "common")
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ex.ActualRows != 18 { // 20 minus evid(5) and evid(12), which flipped to rare
+		t.Fatalf("common ActualRows = %d, want 18", ex.ActualRows)
+	}
+
+	// Unindexed keys keep their typed error through the planned path.
+	if _, _, err := cl.LookupWhere(0, weaver.Where{Key: "nope", Op: weaver.OpEq, Value: "x"}); !errors.Is(err, weaver.ErrNoIndex) {
+		t.Fatalf("unindexed key error = %v, want ErrNoIndex", err)
+	}
+}

@@ -1,0 +1,103 @@
+package weaver
+
+// Cost-based query API (internal/plan). Every index query — Lookup,
+// LookupRange, LookupWhere — is executed as an explicit plan: the
+// gatekeeper consults its marker catalog and per-shard statistics to pick
+// the minimal shard set, pushes predicate conjunctions and limits down to
+// the shards, scatters concurrently, and merges. Explain and ExplainWhere
+// expose the plan that a query would run with, plus its measured reality.
+
+import (
+	"weaver/internal/core"
+	"weaver/internal/gatekeeper"
+	"weaver/internal/plan"
+	"weaver/internal/wire"
+)
+
+// Where is one predicate in a conjunction passed to LookupWhere: the
+// indexed property Key compared to Value under Op. All predicates in one
+// call must hold simultaneously (AND semantics).
+type Where = wire.Where
+
+// Predicate comparison operators for Where.Op. Values are ordered
+// lexicographically, matching LookupRange.
+const (
+	OpEq = wire.OpEq // Key == Value
+	OpGe = wire.OpGe // Key >= Value (empty Value = unbounded below)
+	OpLe = wire.OpLe // Key <= Value (empty Value = unbounded above)
+	OpGt = wire.OpGt // Key >  Value
+	OpLt = wire.OpLt // Key <  Value
+)
+
+// Explanation reports how a query was planned and what actually happened:
+// the chosen shard set, what was pruned, estimated versus actual row
+// counts, and per-stage timings. Produced by Client.Explain and
+// Client.ExplainWhere.
+type Explanation = plan.Explanation
+
+// LookupWhere returns the vertices satisfying every predicate in wheres
+// (AND), sorted by vertex ID, truncated to the first limit matches when
+// limit > 0 (0 = unlimited). Like Lookup it is a strictly serializable
+// snapshot read: the result is exactly the set of vertices whose
+// properties satisfied the conjunction at the returned timestamp. The
+// conjunction is evaluated shard-side (predicate and limit pushdown);
+// with at least one equality predicate the planner contacts only the
+// shards whose marker catalog admits a match, not the full cluster.
+// Fails with ErrNoIndex when any predicate key is not indexed.
+func (cl *Client) LookupWhere(limit int, wheres ...Where) ([]VertexID, Timestamp, error) {
+	return cl.gk().LookupWhere(core.Timestamp{}, wheres, limit)
+}
+
+// BroadcastWhere is LookupWhere with shard pruning bypassed: every shard
+// is contacted regardless of the marker catalog. Planned execution is
+// result-identical to this by construction — tests use it as the
+// planner-equivalence oracle and benchmarks as the latency baseline.
+func (cl *Client) BroadcastWhere(limit int, wheres ...Where) ([]VertexID, Timestamp, error) {
+	return cl.gk().LookupOpts(core.Timestamp{}, gatekeeper.LookupOptions{
+		Wheres: wheres, Limit: limit, ForceBroadcast: true,
+	})
+}
+
+// Explain runs Lookup(key, value) and reports the plan it executed:
+// which shards were contacted, which were pruned, estimated versus
+// actual rows, and per-stage timings. The query really runs — actual
+// numbers are measured, not simulated.
+func (cl *Client) Explain(key, value string) ([]VertexID, Explanation, error) {
+	var ex Explanation
+	ids, _, err := cl.gk().LookupOpts(core.Timestamp{}, gatekeeper.LookupOptions{
+		Key: key, Value: value, Explain: &ex,
+	})
+	return ids, ex, err
+}
+
+// ExplainWhere is Explain for a predicate conjunction with an optional
+// limit — the diagnostic twin of LookupWhere.
+func (cl *Client) ExplainWhere(limit int, wheres ...Where) ([]VertexID, Explanation, error) {
+	var ex Explanation
+	ids, _, err := cl.gk().LookupOpts(core.Timestamp{}, gatekeeper.LookupOptions{
+		Wheres: wheres, Limit: limit, Explain: &ex,
+	})
+	return ids, ex, err
+}
+
+// LookupWhere is the historical counterpart of Client.LookupWhere: the
+// conjunction is evaluated against the graph as of the pinned timestamp.
+func (r *ReadClient) LookupWhere(limit int, wheres ...Where) ([]VertexID, error) {
+	if r.ts.Zero() {
+		return nil, errZeroReadTS
+	}
+	ids, _, err := r.cl.gk().LookupWhere(r.ts, wheres, limit)
+	return ids, err
+}
+
+// BroadcastWhere is the historical counterpart of Client.BroadcastWhere —
+// the pruning-bypassed oracle at a pinned timestamp.
+func (r *ReadClient) BroadcastWhere(limit int, wheres ...Where) ([]VertexID, error) {
+	if r.ts.Zero() {
+		return nil, errZeroReadTS
+	}
+	ids, _, err := r.cl.gk().LookupOpts(r.ts, gatekeeper.LookupOptions{
+		Wheres: wheres, Limit: limit, ForceBroadcast: true,
+	})
+	return ids, err
+}

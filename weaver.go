@@ -296,6 +296,20 @@ type Config struct {
 	// selector. Index postings are garbage-collected, migrated, paged,
 	// bulk-loaded and recovered alongside the graph versions they mirror.
 	Indexes []IndexSpec
+	// DisableQueryPlanning routes every index lookup through the legacy
+	// broadcast path: all shards are contacted for every query, and the
+	// presence-marker catalog (internal/plan) is maintained but unused for
+	// pruning. Client.Explain reports the fallback. The default (planning
+	// on) prunes equality-lookup scatter to the shards that can hold
+	// matches.
+	DisableQueryPlanning bool
+	// PlanStatsPeriod bounds how often each shard publishes per-key index
+	// cardinality statistics to the gatekeepers for query-plan row
+	// estimates (EXPLAIN's "estimated rows" and the estimate-error
+	// metric). 0 = 250ms; negative disables publication — estimates
+	// degrade to "unknown", shard pruning is unaffected (soundness rests
+	// on the marker catalog, never on statistics).
+	PlanStatsPeriod time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -519,6 +533,7 @@ func (c *Cluster) newShard(i int, epoch uint64) *shard.Shard {
 		Workers:         c.cfg.ShardWorkers,
 		MaxBatch:        c.cfg.ShardMaxBatch,
 		Indexes:         c.cfg.Indexes,
+		StatsPeriod:     c.cfg.PlanStatsPeriod,
 		Obs:             c.obs,
 	}, ep, c.orc, c.reg, c.dir)
 	if c.cfg.MaxShardVertices > 0 {
@@ -534,6 +549,10 @@ func (c *Cluster) newGatekeeper(i int, epoch uint64) *gatekeeper.Gatekeeper {
 		heartbeat = c.cfg.HeartbeatTimeout / 4
 	}
 	ep := c.fabric.Endpoint(transport.GatekeeperAddr(i))
+	indexed := make([]string, 0, len(c.cfg.Indexes))
+	for _, sp := range c.cfg.Indexes {
+		indexed = append(indexed, sp.Key)
+	}
 	return gatekeeper.New(gatekeeper.Config{
 		ID:               i,
 		NumGatekeepers:   c.cfg.Gatekeepers,
@@ -546,6 +565,8 @@ func (c *Cluster) newGatekeeper(i int, epoch uint64) *gatekeeper.Gatekeeper {
 		ProgTimeout:      c.cfg.ProgTimeout,
 		MaxApplyLag:      c.cfg.MaxApplyLag,
 		HeartbeatPeriod:  heartbeat,
+		IndexedKeys:      indexed,
+		DisablePlanning:  c.cfg.DisableQueryPlanning,
 		Obs:              c.obs,
 	}, ep, c.kv, c.orc, c.dir)
 }
