@@ -5,7 +5,10 @@
 // graph occur at the head of the chain, while queries can execute on any
 // copy of the graph"). A failed replica is unlinked and the chain heals;
 // because every prefix of the chain has seen every acknowledged update,
-// no acknowledged state is lost as long as one replica survives.
+// no acknowledged state is lost as long as one replica survives. A healed
+// replica rejoins at the tail after a state transfer from the current
+// tail, framed through the snapshot segment format (CRC-checked), so
+// fault tolerance recovers instead of decaying monotonically.
 //
 // The state machine is generic: replicas each hold an instance produced by
 // a deterministic factory, and updates are deterministic commands, so all
@@ -13,8 +16,12 @@
 package chainrep
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"sync"
+
+	"weaver/internal/snapshot"
 )
 
 // StateMachine is a deterministic state machine: identical command
@@ -26,8 +33,25 @@ type StateMachine interface {
 	Query(q any) any
 }
 
+// Snapshotter is the optional state-transfer interface: a state machine
+// that can serialize its full state and restore from it. Chains whose
+// factory produces Snapshotters support Heal (rejoin with state transfer).
+type Snapshotter interface {
+	// Snapshot returns the machine's full state as bytes.
+	Snapshot() ([]byte, error)
+	// Restore replaces the machine's state with a prior Snapshot payload.
+	Restore(state []byte) error
+}
+
 // ErrNoReplicas is returned when every replica has failed.
 var ErrNoReplicas = errors.New("chainrep: no live replicas")
+
+// ErrNoSnapshot is returned by Heal when the state machine does not
+// implement Snapshotter, so no state transfer is possible.
+var ErrNoSnapshot = errors.New("chainrep: state machine does not support snapshots")
+
+// ErrAlreadyLive is returned by Heal for a replica that is not failed.
+var ErrAlreadyLive = errors.New("chainrep: replica already live")
 
 type replica struct {
 	sm   StateMachine
@@ -38,8 +62,13 @@ type replica struct {
 type Chain struct {
 	mu       sync.Mutex
 	replicas []*replica
-	updates  uint64
-	queries  uint64
+	// order holds the indices of live replicas in chain order:
+	// order[0] is the head, order[len-1] the tail. Fail unlinks an
+	// index; Heal re-links it at the tail after state transfer.
+	order   []int
+	updates uint64
+	queries uint64
+	heals   uint64
 }
 
 // New builds a chain of n replicas from the factory.
@@ -50,27 +79,25 @@ func New(n int, factory func() StateMachine) *Chain {
 	c := &Chain{}
 	for i := 0; i < n; i++ {
 		c.replicas = append(c.replicas, &replica{sm: factory()})
+		c.order = append(c.order, i)
 	}
 	return c
 }
 
-// Update applies cmd at the head and propagates it down the chain; the
-// reply is the tail's (every replica computes the same one). The chain
-// lock models the head's serialization of updates.
+// Update applies cmd at the head and propagates it down the chain in chain
+// order; the acknowledgement (the reply) is computed by the effective tail
+// — the last live replica after relinking — matching chain replication's
+// ack-from-tail rule. The chain lock models the head's serialization of
+// updates.
 func (c *Chain) Update(cmd any) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var reply any
-	applied := false
-	for _, r := range c.replicas {
-		if r.dead {
-			continue
-		}
-		reply = r.sm.Apply(cmd)
-		applied = true
-	}
-	if !applied {
+	if len(c.order) == 0 {
 		return nil, ErrNoReplicas
+	}
+	var reply any
+	for _, i := range c.order {
+		reply = c.replicas[i].sm.Apply(cmd)
 	}
 	c.updates++
 	return reply, nil
@@ -81,46 +108,151 @@ func (c *Chain) Update(cmd any) (any, error) {
 func (c *Chain) Query(q any, where float64) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var live []*replica
-	for _, r := range c.replicas {
-		if !r.dead {
-			live = append(live, r)
-		}
-	}
-	if len(live) == 0 {
+	if len(c.order) == 0 {
 		return nil, ErrNoReplicas
 	}
-	idx := int(where * float64(len(live)-1))
+	idx := int(where * float64(len(c.order)-1))
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(live) {
-		idx = len(live) - 1
+	if idx >= len(c.order) {
+		idx = len(c.order) - 1
 	}
 	c.queries++
-	return live[idx].sm.Query(q), nil
+	return c.replicas[c.order[idx]].sm.Query(q), nil
+}
+
+// QueryReplica executes q on replica i directly, regardless of chain
+// position (tests use it to audit a specific replica's state).
+func (c *Chain) QueryReplica(i int, q any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.replicas) {
+		return nil, fmt.Errorf("chainrep: no replica %d", i)
+	}
+	if c.replicas[i].dead {
+		return nil, fmt.Errorf("chainrep: replica %d is dead", i)
+	}
+	return c.replicas[i].sm.Query(q), nil
 }
 
 // Fail marks replica i dead and relinks the chain around it.
 func (c *Chain) Fail(i int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if i >= 0 && i < len(c.replicas) {
-		c.replicas[i].dead = true
+	if i < 0 || i >= len(c.replicas) || c.replicas[i].dead {
+		return
 	}
+	c.replicas[i].dead = true
+	for k, idx := range c.order {
+		if idx == i {
+			c.order = append(c.order[:k], c.order[k+1:]...)
+			break
+		}
+	}
+}
+
+// Heal brings failed replica i back into the chain: its state machine is
+// restored from a state transfer off the current tail (the replica with
+// the least history that still has every acknowledged update), then the
+// replica is linked in as the new tail. Concurrent updates are excluded by
+// the chain lock for the duration of the transfer, so rejoin loses
+// nothing. Requires the state machine to implement Snapshotter.
+func (c *Chain) Heal(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.replicas) {
+		return fmt.Errorf("chainrep: no replica %d", i)
+	}
+	if !c.replicas[i].dead {
+		return ErrAlreadyLive
+	}
+	if len(c.order) == 0 {
+		return ErrNoReplicas
+	}
+	joiner, ok := c.replicas[i].sm.(Snapshotter)
+	if !ok {
+		return ErrNoSnapshot
+	}
+	tail := c.replicas[c.order[len(c.order)-1]]
+	src, ok := tail.sm.(Snapshotter)
+	if !ok {
+		return ErrNoSnapshot
+	}
+	state, err := src.Snapshot()
+	if err != nil {
+		return fmt.Errorf("chainrep: snapshot source: %w", err)
+	}
+	payload, err := frameTransfer(state)
+	if err != nil {
+		return fmt.Errorf("chainrep: frame transfer: %w", err)
+	}
+	restored, err := unframeTransfer(payload)
+	if err != nil {
+		return fmt.Errorf("chainrep: verify transfer: %w", err)
+	}
+	if err := joiner.Restore(restored); err != nil {
+		return fmt.Errorf("chainrep: restore: %w", err)
+	}
+	c.replicas[i].dead = false
+	c.order = append(c.order, i)
+	c.heals++
+	return nil
+}
+
+// transferKey names the single snapshot entry carrying the state payload.
+const transferKey = "chainrep/state"
+
+// frameTransfer wraps the state bytes in a snapshot segment so the
+// transfer payload is checksummed end-to-end (the same format shard
+// snapshots ship in).
+func frameTransfer(state []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := snapshot.NewWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Write(snapshot.Entry{Key: transferKey, Value: state, Version: 1}); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// unframeTransfer validates and unwraps a frameTransfer payload.
+func unframeTransfer(payload []byte) ([]byte, error) {
+	var state []byte
+	found := false
+	_, err := snapshot.ReadSegment(bytes.NewReader(payload), func(e snapshot.Entry) error {
+		if e.Key == transferKey {
+			state = e.Value
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, errors.New("chainrep: transfer payload missing state entry")
+	}
+	return state, nil
 }
 
 // Live returns the number of live replicas.
 func (c *Chain) Live() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, r := range c.replicas {
-		if !r.dead {
-			n++
-		}
-	}
-	return n
+	return len(c.order)
+}
+
+// Len returns the total number of replicas, live or dead.
+func (c *Chain) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.replicas)
 }
 
 // Stats returns (updates, queries) processed.
@@ -128,4 +260,11 @@ func (c *Chain) Stats() (uint64, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.updates, c.queries
+}
+
+// Heals returns the number of successful rejoins.
+func (c *Chain) Heals() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.heals
 }

@@ -3,7 +3,9 @@
 // reconfigures the cluster:
 //
 //  1. the epoch bump is committed to a Paxos-replicated configuration log
-//     [37, 55], so manager replicas agree on the epoch history;
+//     [37, 55], so manager replicas agree on the epoch history; a
+//     restarting manager recovers the decided history from the acceptor
+//     quorum and resumes above it, never from a locally-seeded default;
 //  2. a barrier moves all servers to the new epoch in unison — gatekeepers
 //     pause timestamp issuance and ack, shards drain in-flight traffic and
 //     reset their FIFO streams and ack, then gatekeepers restart their
@@ -11,16 +13,24 @@
 //     strictly before all new-epoch ones);
 //  3. the failed server is restarted: a reborn shard reloads its partition
 //     from the backing store; a reborn gatekeeper starts with a fresh
-//     clock in the new epoch.
+//     clock in the new epoch. Members in other processes (RegisterRemote)
+//     receive the barrier as wire.EpochChange messages and ack back; a
+//     dead remote member is simply marked failed — its standby observes
+//     the failure through EpochQuery and takes over.
 //
 // The barrier's in-flight drain relies on the in-process fabric delivering
-// sends into destination mailboxes synchronously; deployments that inject
-// artificial delay should not race failovers against that delay.
+// sends into destination mailboxes synchronously; remote members instead
+// ack explicitly, with a bounded wait so a dead server cannot wedge
+// reconfiguration.
 package cluster
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"weaver/internal/paxos"
@@ -47,6 +57,15 @@ type member struct {
 	restart  func(epoch uint64) Server
 	lastBeat time.Time
 	isGK     bool
+	// remote members live in another process: the barrier reaches them
+	// as wire messages, and death means "mark failed, let a standby take
+	// over" rather than an in-process restart.
+	remote bool
+	failed bool
+	// everBeat records that this member has heartbeated at least once:
+	// a Boot-flagged EpochQuery from such a member is a restart (maybe
+	// one the detector never saw), not a first boot.
+	everBeat bool
 }
 
 // Config tunes failure detection.
@@ -58,8 +77,23 @@ type Config struct {
 	// Replicas is the size of the manager's Paxos group (default 3).
 	Replicas int
 	// StartEpoch seeds the epoch counter (a cluster reopened from a
-	// durable backing store resumes above all pre-restart epochs).
+	// durable backing store resumes above all pre-restart epochs). The
+	// decided epoch log always wins over StartEpoch when it is higher.
 	StartEpoch uint64
+	// Acceptors optionally supplies the Paxos acceptor set — typically
+	// remote.AcceptorClient handles reaching the other manager replicas'
+	// processes. Nil means Replicas fresh in-process acceptors.
+	Acceptors []paxos.AcceptorAPI
+	// ProposerID distinguishes this manager's ballots from concurrent
+	// proposers on the same acceptor set (default 0).
+	ProposerID int
+	// ReconfigLock, when non-nil, is held across every Recover. Weaver
+	// shares one lock between recovery and shard migration so an epoch
+	// barrier can never interleave with a migration fence.
+	ReconfigLock sync.Locker
+	// BarrierTimeout bounds the wait for each remote ack phase (default
+	// 2s); a member that fails mid-barrier cannot wedge reconfiguration.
+	BarrierTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = 3
 	}
+	if c.BarrierTimeout <= 0 {
+		c.BarrierTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -79,6 +116,37 @@ func (c Config) withDefaults() Config {
 type EpochBump struct {
 	Epoch  uint64
 	Failed transport.Addr
+}
+
+// encodeBump serializes a bump for the Paxos log; values cross process
+// boundaries as opaque bytes.
+func encodeBump(b EpochBump) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		panic(fmt.Sprintf("cluster: encode bump: %v", err)) // two fixed fields; cannot fail
+	}
+	return buf.Bytes()
+}
+
+// decodeBump parses a log entry. Gap sentinels and foreign entries report
+// ok=false.
+func decodeBump(v any) (EpochBump, bool) {
+	if paxos.IsGap(v) {
+		return EpochBump{}, false
+	}
+	b, ok := v.([]byte)
+	if !ok {
+		// In-process legacy path: the entry may be the struct itself.
+		if eb, ok := v.(EpochBump); ok {
+			return eb, true
+		}
+		return EpochBump{}, false
+	}
+	var eb EpochBump
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&eb); err != nil {
+		return EpochBump{}, false
+	}
+	return eb, true
 }
 
 // Manager is the cluster manager.
@@ -91,6 +159,17 @@ type Manager struct {
 	members map[transport.Addr]*member
 	epoch   uint64
 
+	// acks funnels wire.EpochAck messages from the run loop to a barrier
+	// in flight.
+	acks chan wire.EpochAck
+	// recovering serializes detector-triggered recoveries (the barrier
+	// waits for acks the run loop must keep delivering, so Recover runs
+	// off-loop).
+	recovering atomic.Bool
+
+	watchMu  sync.Mutex
+	watchers []func(epoch uint64, failed transport.Addr)
+
 	recoveries uint64
 	stop       chan struct{}
 	stopOnce   sync.Once
@@ -101,23 +180,65 @@ type Manager struct {
 const Addr = transport.Addr("climgr")
 
 // New builds a manager listening on ep. Its configuration log is a
-// Paxos-replicated state machine with cfg.Replicas acceptors (in-process;
-// a real deployment would spread them across machines).
+// Paxos-replicated state machine with cfg.Replicas acceptors (in-process
+// by default; cfg.Acceptors spreads them across manager processes). The
+// epoch resumes from the decided log history when one exists.
 func New(cfg Config, ep transport.Endpoint) *Manager {
 	cfg = cfg.withDefaults()
-	acc := make([]*paxos.Acceptor, cfg.Replicas)
-	for i := range acc {
-		acc[i] = paxos.NewAcceptor()
+	accs := cfg.Acceptors
+	if len(accs) == 0 {
+		accs = make([]paxos.AcceptorAPI, cfg.Replicas)
+		for i := range accs {
+			accs[i] = paxos.NewAcceptor()
+		}
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:     cfg,
 		ep:      ep,
-		log:     paxos.NewLog(paxos.NewProposer(0, acc)),
+		log:     paxos.NewLog(paxos.NewProposerOver(cfg.ProposerID, accs)),
 		members: make(map[transport.Addr]*member),
 		epoch:   cfg.StartEpoch,
+		acks:    make(chan wire.EpochAck, 256),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	// Best effort at construction; managers joining an existing quorum
+	// call SyncFromLog explicitly and handle the error.
+	_ = m.SyncFromLog()
+	return m
+}
+
+// SyncFromLog recovers the decided epoch history from the acceptor quorum
+// and advances the local epoch to the highest decided bump. This is the
+// restart path: a reborn manager resumes from the agreed history, not
+// from StartEpoch.
+func (m *Manager) SyncFromLog() error {
+	hist, err := m.log.Recover()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, v := range hist {
+		if eb, ok := decodeBump(v); ok && eb.Epoch > m.epoch {
+			m.epoch = eb.Epoch
+		}
+	}
+	return nil
+}
+
+// maxDecidedEpochLocked scans the locally learned log for the highest
+// decided epoch (callers hold no lock; the log has its own).
+func (m *Manager) maxDecidedEpoch() uint64 {
+	var max uint64
+	for slot := uint64(1); slot < m.log.Next(); slot++ {
+		if v, ok := m.log.Get(slot); ok {
+			if eb, ok := decodeBump(v); ok && eb.Epoch > max {
+				max = eb.Epoch
+			}
+		}
+	}
+	return max
 }
 
 // Register adds a server: its live control handle and a restart factory
@@ -128,11 +249,42 @@ func (m *Manager) Register(addr transport.Addr, isGK bool, srv Server, restart f
 	m.members[addr] = &member{addr: addr, server: srv, restart: restart, lastBeat: time.Now(), isGK: isGK}
 }
 
+// RegisterRemote adds a member living in another process: it participates
+// in the epoch barrier via wire.EpochChange/EpochAck, proves liveness via
+// wire.Heartbeat, and on death is marked failed (visible through
+// EpochQuery) so a standby can take over its role.
+func (m *Manager) RegisterRemote(addr transport.Addr, isGK bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.members[addr] = &member{addr: addr, lastBeat: time.Now(), isGK: isGK, remote: true}
+}
+
+// WatchEpochs registers fn to run after every completed reconfiguration
+// with the new epoch and the failed member's address.
+func (m *Manager) WatchEpochs(fn func(epoch uint64, failed transport.Addr)) {
+	m.watchMu.Lock()
+	m.watchers = append(m.watchers, fn)
+	m.watchMu.Unlock()
+}
+
 // Epoch returns the current epoch.
 func (m *Manager) Epoch() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.epoch
+}
+
+// Failed returns the addresses currently marked failed.
+func (m *Manager) Failed() []transport.Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []transport.Addr
+	for _, mem := range m.members {
+		if mem.failed {
+			out = append(out, mem.addr)
+		}
+	}
+	return out
 }
 
 // Recoveries returns how many reconfigurations have run.
@@ -167,13 +319,7 @@ func (m *Manager) run() {
 				if !ok {
 					break
 				}
-				if hb, ok := msg.Payload.(wire.Heartbeat); ok {
-					m.mu.Lock()
-					if mem, ok := m.members[hb.From]; ok {
-						mem.lastBeat = time.Now()
-					}
-					m.mu.Unlock()
-				}
+				m.handle(msg)
 			}
 		case <-tick.C:
 			m.checkOnce()
@@ -181,26 +327,129 @@ func (m *Manager) run() {
 	}
 }
 
+func (m *Manager) handle(msg transport.Message) {
+	switch p := msg.Payload.(type) {
+	case wire.Heartbeat:
+		m.mu.Lock()
+		var rejoined transport.Addr
+		if mem, ok := m.members[p.From]; ok {
+			mem.lastBeat = time.Now()
+			mem.everBeat = true
+			if mem.failed {
+				// A heartbeat from a failed remote means the process is
+				// back (or a standby adopted its address): clear the mark
+				// and realign the cluster behind a rejoin barrier. The
+				// barrier is what makes the rejoin safe: the survivors'
+				// FIFO sequence counters kept advancing while the member
+				// was down, so without a fresh epoch a reborn shard would
+				// wait forever for sequence numbers that already passed.
+				mem.failed = false
+				rejoined = mem.addr
+			}
+		}
+		m.mu.Unlock()
+		if rejoined != "" && m.recovering.CompareAndSwap(false, true) {
+			go func(addr transport.Addr) {
+				defer m.recovering.Store(false)
+				if err := m.Rejoin(addr); err != nil {
+					log.Printf("cluster: rejoin %s: %v", addr, err)
+				}
+			}(rejoined)
+		}
+	case wire.EpochAck:
+		select {
+		case m.acks <- p:
+		default: // barrier gone; drop
+		}
+	case wire.EpochQuery:
+		m.mu.Lock()
+		info := wire.EpochInfo{ID: p.ID, Epoch: m.epoch}
+		for _, mem := range m.members {
+			if mem.failed {
+				info.Failed = append(info.Failed, mem.addr)
+			}
+		}
+		// A Boot query from a member we have seen alive means the
+		// process crashed and came back inside the failure detector's
+		// window: no death was ever declared, but its FIFO streams are
+		// reset all the same. Treat it exactly like a heartbeat from a
+		// failed member — realign behind a rejoin barrier.
+		var rebooted transport.Addr
+		if p.Boot {
+			if mem, ok := m.members[p.From]; ok && mem.everBeat {
+				mem.failed = false
+				mem.lastBeat = time.Now()
+				rebooted = mem.addr
+			}
+		}
+		m.mu.Unlock()
+		to := p.From
+		if to == "" {
+			to = msg.From
+		}
+		m.ep.Send(to, info)
+		if rebooted != "" && m.recovering.CompareAndSwap(false, true) {
+			go func(addr transport.Addr) {
+				defer m.recovering.Store(false)
+				if err := m.Rejoin(addr); err != nil {
+					log.Printf("cluster: rejoin %s after boot query: %v", addr, err)
+				}
+			}(rebooted)
+		}
+	}
+}
+
 func (m *Manager) checkOnce() {
+	if m.recovering.Load() {
+		return
+	}
 	m.mu.Lock()
 	var dead *member
 	now := time.Now()
 	for _, mem := range m.members {
+		if mem.failed {
+			continue
+		}
 		if now.Sub(mem.lastBeat) > m.cfg.HeartbeatTimeout {
 			dead = mem
 			break
 		}
 	}
 	m.mu.Unlock()
-	if dead != nil {
-		m.Recover(dead.addr)
+	if dead != nil && m.recovering.CompareAndSwap(false, true) {
+		// Off-loop: the barrier needs the run loop free to deliver acks.
+		go func(addr transport.Addr) {
+			defer m.recovering.Store(false)
+			if err := m.Recover(addr); err != nil {
+				log.Printf("cluster: recover %s: %v", addr, err)
+			}
+		}(dead.addr)
 	}
 }
 
 // Recover runs the full reconfiguration for the (presumed dead) server at
-// addr: Paxos-logged epoch bump, cluster-wide barrier, restart. Safe to
-// call manually (tests) or from the detector.
+// addr: Paxos-logged epoch bump, cluster-wide barrier, restart (or, for a
+// remote member, a failure mark its standby observes). Safe to call
+// manually (tests) or from the detector.
 func (m *Manager) Recover(addr transport.Addr) error {
+	return m.reconfigure(addr, true)
+}
+
+// Rejoin runs an epoch barrier welcoming a previously failed remote
+// member back: unlike Recover, the member participates in the barrier
+// (it is alive again) and is not re-marked failed. The fresh epoch
+// resets every FIFO stream, so the rejoined server and the survivors
+// agree on sequence numbering, and shards pull any committed-but-
+// unforwarded writes from the backing store behind the barrier.
+func (m *Manager) Rejoin(addr transport.Addr) error {
+	return m.reconfigure(addr, false)
+}
+
+func (m *Manager) reconfigure(addr transport.Addr, asDead bool) error {
+	if m.cfg.ReconfigLock != nil {
+		m.cfg.ReconfigLock.Lock()
+		defer m.cfg.ReconfigLock.Unlock()
+	}
 	m.mu.Lock()
 	dead, ok := m.members[addr]
 	if !ok {
@@ -210,7 +459,7 @@ func (m *Manager) Recover(addr transport.Addr) error {
 	newEpoch := m.epoch + 1
 	var gks, others []*member
 	for _, mem := range m.members {
-		if mem == dead {
+		if (asDead && mem == dead) || mem.failed {
 			continue
 		}
 		if mem.isGK {
@@ -221,36 +470,104 @@ func (m *Manager) Recover(addr transport.Addr) error {
 	}
 	m.mu.Unlock()
 
-	// 1. Commit the epoch bump to the replicated configuration log.
-	if _, err := m.log.Append(EpochBump{Epoch: newEpoch, Failed: addr}); err != nil {
+	// 1. Commit the epoch bump to the replicated configuration log. A
+	// concurrent manager may have decided bumps we haven't observed;
+	// adopt them so our epoch lands strictly above everything decided.
+	if _, err := m.log.Append(encodeBump(EpochBump{Epoch: newEpoch, Failed: addr})); err != nil {
 		return fmt.Errorf("cluster: config log: %w", err)
+	}
+	if decided := m.maxDecidedEpoch(); decided > newEpoch {
+		// Our bump landed, but history holds higher epochs from a
+		// concurrent reconfiguration; re-propose above them so the
+		// barrier below moves the cluster to the true maximum.
+		for decided > newEpoch {
+			newEpoch = decided + 1
+			if _, err := m.log.Append(encodeBump(EpochBump{Epoch: newEpoch, Failed: addr})); err != nil {
+				return fmt.Errorf("cluster: config log: %w", err)
+			}
+			decided = m.maxDecidedEpoch()
+		}
 	}
 
 	// 2. Barrier. Gatekeepers pause issuance first, so no new old-epoch
 	// traffic enters the system; shards then drain and reset; finally
-	// everyone enters the new epoch and gatekeepers resume.
-	for _, g := range gks {
-		g.server.Pause()
-	}
-	for _, s := range others {
-		s.server.EnterEpoch(newEpoch)
-	}
-	for _, g := range gks {
-		g.server.EnterEpoch(newEpoch)
-	}
+	// everyone enters the new epoch and gatekeepers resume. Remote
+	// members get wire messages and must ack (bounded wait).
+	m.barrierPhase(gks, newEpoch, wire.EpochPhasePause, func(s Server) { s.Pause() })
+	m.barrierPhase(others, newEpoch, wire.EpochPhaseEnter, func(s Server) { s.EnterEpoch(newEpoch) })
+	m.barrierPhase(gks, newEpoch, wire.EpochPhaseEnter, func(s Server) { s.EnterEpoch(newEpoch) })
 
-	// 3. Restart the failed server in the new epoch.
-	reborn := dead.restart(newEpoch)
+	// 3. Restart the failed server in the new epoch. Remote members have
+	// no in-process factory: they stay marked failed until a standby (or
+	// the restarted process itself) heartbeats again, which triggers a
+	// rejoin barrier instead of a restart.
+	var reborn Server
+	if asDead && dead.restart != nil {
+		reborn = dead.restart(newEpoch)
+	}
 
 	m.mu.Lock()
 	m.epoch = newEpoch
-	dead.server = reborn
-	dead.lastBeat = time.Now()
+	switch {
+	case reborn != nil:
+		dead.server = reborn
+		dead.lastBeat = time.Now()
+		dead.failed = false
+	case asDead:
+		dead.failed = true
+	default:
+		// Rejoin: the member is alive and just passed the barrier.
+		dead.lastBeat = time.Now()
+	}
 	m.recoveries++
 	m.mu.Unlock()
 
 	for _, g := range gks {
-		g.server.Resume()
+		if g.server != nil {
+			g.server.Resume()
+		}
+	}
+
+	m.watchMu.Lock()
+	watchers := append([]func(uint64, transport.Addr){}, m.watchers...)
+	m.watchMu.Unlock()
+	for _, fn := range watchers {
+		fn(newEpoch, addr)
 	}
 	return nil
+}
+
+// barrierPhase applies one barrier step to every member in the slice:
+// in-process members through their Server handle, remote members through
+// an EpochChange message followed by a bounded wait for their acks.
+func (m *Manager) barrierPhase(members []*member, epoch uint64, phase uint8, local func(Server)) {
+	want := make(map[transport.Addr]bool)
+	for _, mem := range members {
+		if mem.remote {
+			m.ep.Send(mem.addr, wire.EpochChange{Epoch: epoch, Phase: phase, From: Addr})
+			want[mem.addr] = true
+		} else if mem.server != nil {
+			local(mem.server)
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	deadline := time.NewTimer(m.cfg.BarrierTimeout)
+	defer deadline.Stop()
+	for len(want) > 0 {
+		select {
+		case ack := <-m.acks:
+			if ack.Epoch == epoch && ack.Phase == phase {
+				delete(want, ack.From)
+			}
+		case <-deadline.C:
+			// A member died mid-barrier; the detector will catch it on
+			// the next beat. Proceeding is safe: the new epoch's traffic
+			// is gated by the paused gatekeepers, not by this ack.
+			return
+		case <-m.stop:
+			return
+		}
+	}
 }

@@ -216,6 +216,46 @@ func PointwiseMin(ts ...Timestamp) Timestamp {
 	return out
 }
 
+// PointwiseMax combines timestamps into a horizon that every input
+// happens-before or equals: the highest epoch wins outright, and within
+// that epoch the clock is the componentwise maximum over the inputs
+// sharing it. Shard crash recovery uses this to compute the recovery
+// horizon — the earliest timestamp at which the reloaded wholesale
+// records are faithful — and refuses older historical reads rather than
+// serve them truncated history (§4.3, §4.5).
+func PointwiseMax(ts ...Timestamp) Timestamp {
+	if len(ts) == 0 {
+		return Timestamp{}
+	}
+	maxEpoch := ts[0].Epoch
+	for _, t := range ts[1:] {
+		if t.Epoch > maxEpoch {
+			maxEpoch = t.Epoch
+		}
+	}
+	var out Timestamp
+	out.Epoch = maxEpoch
+	for _, t := range ts {
+		if t.Epoch != maxEpoch {
+			continue
+		}
+		if out.Clock == nil {
+			out.Clock = append([]uint64(nil), t.Clock...)
+			out.Owner = t.Owner
+			continue
+		}
+		if len(t.Clock) > len(out.Clock) {
+			out.Clock = append(out.Clock, make([]uint64, len(t.Clock)-len(out.Clock))...)
+		}
+		for i := range t.Clock {
+			if t.Clock[i] > out.Clock[i] {
+				out.Clock[i] = t.Clock[i]
+			}
+		}
+	}
+	return out
+}
+
 // PointwiseLE reports whether t ≤ u componentwise (lower epochs compare
 // below higher ones outright). Unlike Compare, the owners are irrelevant:
 // two timestamps with identical vectors are pointwise-≤ in both

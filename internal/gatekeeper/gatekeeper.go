@@ -229,6 +229,11 @@ type Gatekeeper struct {
 	// pause gates operation intake across epoch barriers (§4.3): the
 	// cluster manager write-locks it while reconfiguring.
 	pause sync.RWMutex
+	// wirePaused remembers that the pause in force was ordered over the
+	// wire (EpochChange Phase=Pause from a remote manager), so the
+	// matching Enter knows to Resume — and an Enter without our own
+	// prior Pause never unlocks a lock it does not hold.
+	wirePaused atomic.Bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -577,10 +582,40 @@ func (g *Gatekeeper) handle(msg transport.Message) {
 		g.handleGCReport(m)
 	case wire.ShardGCReport:
 		g.handleShardGCReport(m)
+	case wire.EpochChange:
+		// The wire half of the §4.3 barrier, for gatekeepers whose
+		// manager lives in another process. Pause stops new commits and
+		// acks; Enter flips the epoch, resumes, and acks. The recvLoop
+		// keeps running between the two phases, so acks and the eventual
+		// Enter still flow while paused.
+		g.handleEpochChange(m, msg.From)
 	}
 }
 
+func (g *Gatekeeper) handleEpochChange(m wire.EpochChange, from transport.Addr) {
+	replyTo := m.From
+	if replyTo == "" {
+		replyTo = from
+	}
+	switch m.Phase {
+	case wire.EpochPhasePause:
+		if g.wirePaused.CompareAndSwap(false, true) {
+			g.Pause()
+		}
+	case wire.EpochPhaseEnter:
+		g.AdvanceEpoch(m.Epoch)
+		if g.wirePaused.CompareAndSwap(true, false) {
+			g.Resume()
+		}
+	}
+	g.ep.Send(replyTo, wire.EpochAck{Epoch: m.Epoch, From: g.ep.Addr(), Phase: m.Phase})
+}
+
 // announce broadcasts the clock to all other gatekeepers (§3.3).
+// Deliberately NOT gated on the pause lock: announcements must keep
+// flowing while a migration batch or bulk load holds Pause, or the
+// peers' clocks stall. An old-epoch snapshot straggling across an epoch
+// barrier is harmless — Observe ignores cross-epoch stamps.
 func (g *Gatekeeper) announce() {
 	g.mu.Lock()
 	ts := g.clock.Peek()
@@ -597,7 +632,13 @@ func (g *Gatekeeper) announce() {
 
 // sendNops stamps one NOP and forwards it to every shard (§4.2), keeping
 // every per-gatekeeper shard queue non-empty so node programs and queued
-// transactions make progress.
+// transactions make progress. Deliberately NOT gated on the pause lock:
+// MigrateBatch and bulk loads Quiesce the apply pipeline WHILE holding
+// Pause, and shards need every gatekeeper's frontier to keep advancing
+// to drain their queues — gating NOPs on pause deadlocks that fence.
+// The epoch-barrier hazard (an old-epoch NOP with a stale sequence
+// number landing after the shard reset its resequencer) is handled at
+// the shard: ingest drops any item whose epoch is behind the shard's.
 func (g *Gatekeeper) sendNops() {
 	g.mu.Lock()
 	ts := g.clock.Tick()

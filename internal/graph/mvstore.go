@@ -342,6 +342,20 @@ func (c *chain) maxTS() core.Timestamp {
 	return max
 }
 
+// LastWrite returns the latest write timestamp recorded anywhere in id's
+// version history, or the zero timestamp when the vertex is not resident.
+// Shard re-recovery compares it against the backing store's last-update
+// stamp to find committed writes the crashed gatekeeper never forwarded.
+func (s *Store) LastWrite(id VertexID) core.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.vertices[id]
+	if ch == nil {
+		return core.Timestamp{}
+	}
+	return ch.maxTS()
+}
+
 // EvictBefore drops up to limit whole vertex histories whose every write
 // happened strictly before the watermark — the paging-out half of demand
 // paging (§6.1). Such vertices are safe to drop: the backing store holds

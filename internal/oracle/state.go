@@ -1,0 +1,125 @@
+package oracle
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"weaver/internal/core"
+)
+
+// dagState is the gob-portable shadow of a DAG: nodes with their
+// timestamps and explicit out-edges, the settled decision cache, and the
+// activity counters. In-edges and the edged index are derivable and
+// rebuilt on decode. Slices are sorted so identical DAGs encode to
+// identical bytes (chain replicas compare state byte-for-byte after a
+// rejoin).
+type dagState struct {
+	Nodes []dagNodeState
+	Cache []dagCacheEntry
+	Stats Stats
+}
+
+type dagNodeState struct {
+	ID  core.ID
+	TS  core.Timestamp
+	Out []core.ID
+}
+
+type dagCacheEntry struct {
+	A, B  core.ID
+	Order core.Order
+}
+
+func idLess(a, b core.ID) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	if a.Owner != b.Owner {
+		return a.Owner < b.Owner
+	}
+	return a.Counter < b.Counter
+}
+
+// EncodeState serializes the DAG's full state deterministically.
+func (d *DAG) EncodeState() ([]byte, error) {
+	st := dagState{Stats: d.stats}
+	for id, n := range d.nodes {
+		ns := dagNodeState{ID: id, TS: n.ts}
+		for out := range n.out {
+			ns.Out = append(ns.Out, out)
+		}
+		sort.Slice(ns.Out, func(i, j int) bool { return idLess(ns.Out[i], ns.Out[j]) })
+		st.Nodes = append(st.Nodes, ns)
+	}
+	sort.Slice(st.Nodes, func(i, j int) bool { return idLess(st.Nodes[i].ID, st.Nodes[j].ID) })
+	for key, o := range d.cache {
+		st.Cache = append(st.Cache, dagCacheEntry{A: key[0], B: key[1], Order: o})
+	}
+	sort.Slice(st.Cache, func(i, j int) bool {
+		if st.Cache[i].A != st.Cache[j].A {
+			return idLess(st.Cache[i].A, st.Cache[j].A)
+		}
+		return idLess(st.Cache[i].B, st.Cache[j].B)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("oracle: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState replaces the DAG's contents with a prior EncodeState
+// payload, rebuilding the in-edge sets and the edged index.
+func (d *DAG) DecodeState(state []byte) error {
+	var st dagState
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&st); err != nil {
+		return fmt.Errorf("oracle: decode state: %w", err)
+	}
+	d.nodes = make(map[core.ID]*node, len(st.Nodes))
+	d.edged = make(map[core.ID]*node)
+	d.cache = make(map[[2]core.ID]core.Order, len(st.Cache))
+	d.stats = st.Stats
+	for _, ns := range st.Nodes {
+		d.nodes[ns.ID] = &node{
+			ts:  ns.TS,
+			out: make(map[core.ID]struct{}, len(ns.Out)),
+			in:  make(map[core.ID]struct{}),
+		}
+	}
+	for _, ns := range st.Nodes {
+		n := d.nodes[ns.ID]
+		for _, out := range ns.Out {
+			n.out[out] = struct{}{}
+			if sn, ok := d.nodes[out]; ok {
+				sn.in[ns.ID] = struct{}{}
+			}
+		}
+		if len(n.out) > 0 {
+			d.edged[ns.ID] = n
+		}
+	}
+	for _, ce := range st.Cache {
+		d.cache[[2]core.ID{ce.A, ce.B}] = ce.Order
+	}
+	return nil
+}
+
+// Snapshot implements chainrep.Snapshotter, making the replicated oracle
+// heal-capable: a rejoining replica restores the full DAG from the tail.
+func (s *dagSM) Snapshot() ([]byte, error) { return s.d.EncodeState() }
+
+// Restore implements chainrep.Snapshotter.
+func (s *dagSM) Restore(state []byte) error { return s.d.DecodeState(state) }
+
+// FailReplica injects a replica failure (the chaos path; also used by
+// Weaver's Cluster when an oracle replica process dies).
+func (r *Replicated) FailReplica(i int) { r.chain.Fail(i) }
+
+// HealReplica rejoins a failed replica via state transfer from the chain
+// tail.
+func (r *Replicated) HealReplica(i int) error { return r.chain.Heal(i) }
+
+// LiveReplicas returns the number of live chain replicas.
+func (r *Replicated) LiveReplicas() int { return r.chain.Live() }

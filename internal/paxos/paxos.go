@@ -14,12 +14,44 @@
 package paxos
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 )
+
+// AcceptorAPI is the voting interface proposers speak. *Acceptor satisfies
+// it in process; remote deployments satisfy it with an RPC client
+// (internal/remote.AcceptorClient), so one proposer can drive a quorum
+// spread across machines. Learn/Chosen/MaxSeen carry the learning half of
+// the protocol: once a proposer sees a quorum of accepts it teaches the
+// decision to every reachable acceptor, and a recovering replica reads the
+// decided history back instead of starting from scratch.
+type AcceptorAPI interface {
+	Prepare(slot uint64, b Ballot) (Promise, error)
+	Accept(slot uint64, b Ballot, v any) (bool, error)
+	// Learn records that v was chosen for slot (idempotent).
+	Learn(slot uint64, v any) error
+	// Chosen returns the learned decision for slot, if any.
+	Chosen(slot uint64) (any, bool, error)
+	// MaxSeen returns the highest slot this acceptor has voted on or
+	// learned — an upper bound on the decided history's length.
+	MaxSeen() (uint64, error)
+}
+
+// Gap is the sentinel value a recovering proposer uses to finish slots
+// whose outcome it cannot observe: proposing Gap either adopts the value
+// the slot actually carries or decides the slot as an explicit no-op.
+// Values are []byte so they cross process boundaries unchanged.
+var Gap = []byte("\x00paxos/gap")
+
+// IsGap reports whether a decided value is the Gap sentinel.
+func IsGap(v any) bool {
+	b, ok := v.([]byte)
+	return ok && bytes.Equal(b, Gap)
+}
 
 // Ballot orders proposal attempts; ties break by proposer ID.
 type Ballot struct {
@@ -44,15 +76,20 @@ type slotState struct {
 	accepted Ballot
 	value    any
 	hasValue bool
+	chosen   any
+	isChosen bool
 }
 
 // Acceptor is the durable voting role of one replica.
 type Acceptor struct {
 	mu    sync.Mutex
 	slots map[uint64]*slotState
+	max   uint64
 	// down simulates a crashed acceptor (tests).
 	down bool
 }
+
+var _ AcceptorAPI = (*Acceptor)(nil)
 
 // NewAcceptor returns an empty acceptor.
 func NewAcceptor() *Acceptor {
@@ -72,7 +109,46 @@ func (a *Acceptor) slot(s uint64) *slotState {
 		st = &slotState{}
 		a.slots[s] = st
 	}
+	if s > a.max {
+		a.max = s
+	}
 	return st
+}
+
+// Learn implements AcceptorAPI: record the chosen value for slot.
+func (a *Acceptor) Learn(slot uint64, v any) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return errors.New("paxos: acceptor down")
+	}
+	st := a.slot(slot)
+	st.chosen = v
+	st.isChosen = true
+	return nil
+}
+
+// Chosen implements AcceptorAPI.
+func (a *Acceptor) Chosen(slot uint64) (any, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return nil, false, errors.New("paxos: acceptor down")
+	}
+	if st, ok := a.slots[slot]; ok && st.isChosen {
+		return st.chosen, true, nil
+	}
+	return nil, false, nil
+}
+
+// MaxSeen implements AcceptorAPI.
+func (a *Acceptor) MaxSeen() (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return 0, errors.New("paxos: acceptor down")
+	}
+	return a.max, nil
 }
 
 // Promise is the phase-1 response.
@@ -120,17 +196,32 @@ func (a *Acceptor) Accept(slot uint64, b Ballot, v any) (bool, error) {
 // Proposer drives consensus for one replica.
 type Proposer struct {
 	id        int
-	acceptors []*Acceptor
+	acceptors []AcceptorAPI
 	mu        sync.Mutex
 	lastN     uint64
 	rng       *rand.Rand
 }
 
-// NewProposer returns a proposer with the given unique ID over the
-// acceptor set.
+// NewProposer returns a proposer with the given unique ID over an
+// in-process acceptor set.
 func NewProposer(id int, acceptors []*Acceptor) *Proposer {
+	api := make([]AcceptorAPI, len(acceptors))
+	for i, a := range acceptors {
+		api[i] = a
+	}
+	return NewProposerOver(id, api)
+}
+
+// NewProposerOver returns a proposer over any acceptor implementations —
+// local, remote, or a mix (the lead manager keeps one acceptor in process
+// and reaches the rest over TCP).
+func NewProposerOver(id int, acceptors []AcceptorAPI) *Proposer {
 	return &Proposer{id: id, acceptors: acceptors, rng: rand.New(rand.NewSource(int64(id) + 7))}
 }
+
+// Acceptors exposes the proposer's acceptor set (used by Log recovery to
+// read learned decisions directly).
+func (p *Proposer) Acceptors() []AcceptorAPI { return p.acceptors }
 
 // ErrNoQuorum is returned when a majority of acceptors is unreachable.
 var ErrNoQuorum = errors.New("paxos: no quorum")
@@ -218,6 +309,12 @@ func (p *Proposer) attempt(slot uint64, v any) (any, error) {
 		p.observeContention()
 		return nil, errPreempted
 	}
+	// Learning: teach the decision to every reachable acceptor so a
+	// recovering replica can read history without re-running consensus.
+	// Best-effort — a missed Learn only costs the slow (re-propose) path.
+	for _, a := range p.acceptors {
+		_ = a.Learn(slot, value)
+	}
 	return value, nil
 }
 
@@ -259,7 +356,7 @@ func (l *Log) Append(v any) (uint64, error) {
 			l.next = slot + 1
 		}
 		l.mu.Unlock()
-		if chosen == v || fmt.Sprintf("%v", chosen) == fmt.Sprintf("%v", v) {
+		if valueEqual(chosen, v) {
 			return slot, nil
 		}
 		// Slot was already taken by another proposer's value; move on.
@@ -272,6 +369,85 @@ func (l *Log) Get(slot uint64) (any, bool) {
 	defer l.mu.Unlock()
 	v, ok := l.log[slot]
 	return v, ok
+}
+
+// Next returns the next free slot as this log currently believes.
+func (l *Log) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Recover rebuilds the local log view from the acceptor quorum: it reads
+// the highest slot any reachable acceptor has seen, then fills every slot
+// up to it — fast path from a learned decision, slow path by proposing the
+// Gap sentinel (which adopts whatever value the slot actually carries, or
+// decides it as an explicit no-op). Returns the decided history in slot
+// order, Gap entries included (callers skip them with IsGap). This is how
+// a restarted manager resumes from the agreed epoch history instead of a
+// locally-seeded starting point.
+func (l *Log) Recover() ([]any, error) {
+	var max uint64
+	reachable := 0
+	for _, a := range l.p.Acceptors() {
+		m, err := a.MaxSeen()
+		if err != nil {
+			continue
+		}
+		reachable++
+		if m > max {
+			max = m
+		}
+	}
+	if reachable < len(l.p.Acceptors())/2+1 {
+		return nil, ErrNoQuorum
+	}
+	history := make([]any, 0, max)
+	for slot := uint64(1); slot <= max; slot++ {
+		var v any
+		found := false
+		for _, a := range l.p.Acceptors() {
+			if cv, ok, err := a.Chosen(slot); err == nil && ok {
+				v, found = cv, true
+				break
+			}
+		}
+		if !found {
+			cv, err := l.p.Propose(slot, Gap, 0)
+			if err != nil {
+				return nil, fmt.Errorf("paxos: recover slot %d: %w", slot, err)
+			}
+			v = cv
+			for _, a := range l.p.Acceptors() {
+				_ = a.Learn(slot, cv)
+			}
+		}
+		history = append(history, v)
+		l.mu.Lock()
+		l.log[slot] = v
+		l.mu.Unlock()
+	}
+	l.mu.Lock()
+	if max >= l.next {
+		l.next = max + 1
+	}
+	l.mu.Unlock()
+	return history, nil
+}
+
+// valueEqual compares decided values without tripping over uncomparable
+// types: []byte (the wire representation) compares by content, everything
+// else by formatted value.
+func valueEqual(a, b any) bool {
+	ab, aok := a.([]byte)
+	bb, bok := b.([]byte)
+	if aok && bok {
+		return bytes.Equal(ab, bb)
+	}
+	if aok != bok {
+		return false
+	}
+	return fmt.Sprintf("%v", a) == fmt.Sprintf("%v", b)
 }
 
 func min(a, b int) int {

@@ -1,0 +1,255 @@
+package paxos
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"weaver/internal/workload"
+)
+
+// lossyAcceptor wraps an AcceptorAPI and drops a random fraction of
+// requests and responses, modeling an asynchronous lossy network. A
+// dropped response after the acceptor mutated state is the nasty case:
+// the proposer thinks the message was lost but the promise/accept stuck.
+type lossyAcceptor struct {
+	inner AcceptorAPI
+	mu    sync.Mutex
+	rng   *rand.Rand
+	loss  float64
+}
+
+var errDropped = errors.New("paxos test: message dropped")
+
+func (l *lossyAcceptor) drop() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64() < l.loss
+}
+
+func (l *lossyAcceptor) Prepare(slot uint64, b Ballot) (Promise, error) {
+	if l.drop() {
+		return Promise{}, errDropped // request lost
+	}
+	pr, err := l.inner.Prepare(slot, b)
+	if err != nil {
+		return pr, err
+	}
+	if l.drop() {
+		return Promise{}, errDropped // response lost, promise already made
+	}
+	return pr, nil
+}
+
+func (l *lossyAcceptor) Accept(slot uint64, b Ballot, v any) (bool, error) {
+	if l.drop() {
+		return false, errDropped
+	}
+	ok, err := l.inner.Accept(slot, b, v)
+	if err != nil {
+		return ok, err
+	}
+	if l.drop() {
+		return false, errDropped // response lost, value already accepted
+	}
+	return ok, nil
+}
+
+func (l *lossyAcceptor) Learn(slot uint64, v any) error {
+	if l.drop() {
+		return errDropped
+	}
+	return l.inner.Learn(slot, v)
+}
+
+func (l *lossyAcceptor) Chosen(slot uint64) (any, bool, error) {
+	if l.drop() {
+		return nil, false, errDropped
+	}
+	return l.inner.Chosen(slot)
+}
+
+func (l *lossyAcceptor) MaxSeen() (uint64, error) {
+	if l.drop() {
+		return 0, errDropped
+	}
+	return l.inner.MaxSeen()
+}
+
+// TestSafetyUnderMessageLossAndDuel is the core Paxos property test:
+// dueling proposers race each slot over a lossy network, and at most one
+// value may ever be chosen per slot — every proposer that gets a decision
+// must report the same value, and it must match what a clean reader
+// recovers afterwards. Seed-replayable via WEAVER_TEST_SEED.
+func TestSafetyUnderMessageLossAndDuel(t *testing.T) {
+	seed := workload.TestSeed(t)
+	rootRng := rand.New(rand.NewSource(seed))
+
+	const (
+		acceptors = 5
+		proposers = 4
+		slots     = 25
+	)
+	accs := make([]*Acceptor, acceptors)
+	for i := range accs {
+		accs[i] = NewAcceptor()
+	}
+
+	// Each proposer sees the acceptors through its own lossy links.
+	props := make([]*Proposer, proposers)
+	for p := range props {
+		links := make([]AcceptorAPI, acceptors)
+		for i, a := range accs {
+			links[i] = &lossyAcceptor{
+				inner: a,
+				rng:   rand.New(rand.NewSource(rootRng.Int63())),
+				loss:  0.15,
+			}
+		}
+		props[p] = NewProposerOver(p, links)
+	}
+
+	var mu sync.Mutex
+	decided := map[uint64]map[string]bool{}
+	var wg sync.WaitGroup
+	for p, prop := range props {
+		wg.Add(1)
+		go func(p int, prop *Proposer) {
+			defer wg.Done()
+			for s := uint64(1); s <= slots; s++ {
+				mine := []byte{byte('a' + p), byte(s)}
+				v, err := prop.Propose(s, mine, 200)
+				if err != nil {
+					continue // loss can starve an attempt; safety is what we check
+				}
+				mu.Lock()
+				if decided[s] == nil {
+					decided[s] = map[string]bool{}
+				}
+				decided[s][string(v.([]byte))] = true
+				mu.Unlock()
+			}
+		}(p, prop)
+	}
+	wg.Wait()
+
+	clean := NewProposer(99, accs)
+	for s, vals := range decided {
+		if len(vals) != 1 {
+			t.Fatalf("seed %d: slot %d chose %d distinct values: %v", seed, s, len(vals), vals)
+		}
+		// A clean re-proposal must adopt the already-chosen value.
+		v, err := clean.Propose(s, []byte("intruder"), 0)
+		if err != nil {
+			t.Fatalf("seed %d: clean read of slot %d: %v", seed, s, err)
+		}
+		if !vals[string(v.([]byte))] {
+			t.Fatalf("seed %d: slot %d: clean reader saw %q, proposers saw %v", seed, s, v, vals)
+		}
+	}
+	if len(decided) == 0 {
+		t.Fatalf("seed %d: no slot decided — vacuous run", seed)
+	}
+}
+
+// TestLogRecoverResumesDecidedHistory: a fresh Log over the same acceptor
+// set must recover every decided slot and continue appending after the
+// history, never overwriting it — the property the cluster manager's
+// restart path depends on.
+func TestLogRecoverResumesDecidedHistory(t *testing.T) {
+	accs := []*Acceptor{NewAcceptor(), NewAcceptor(), NewAcceptor()}
+	l1 := NewLog(NewProposer(0, accs))
+	want := [][]byte{[]byte("e1"), []byte("e2"), []byte("e3")}
+	for _, v := range want {
+		if _, err := l1.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A "restarted" replica builds a fresh log and recovers.
+	l2 := NewLog(NewProposer(1, accs))
+	hist, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != len(want) {
+		t.Fatalf("recovered %d entries, want %d: %v", len(hist), len(want), hist)
+	}
+	for i, v := range want {
+		if string(hist[i].([]byte)) != string(v) {
+			t.Fatalf("slot %d: recovered %q, want %q", i+1, hist[i], v)
+		}
+	}
+	if l2.Next() != uint64(len(want))+1 {
+		t.Fatalf("next = %d", l2.Next())
+	}
+	// Appends continue after the history.
+	slot, err := l2.Append([]byte("e4"))
+	if err != nil || slot != 4 {
+		t.Fatalf("append after recover: slot %d, %v", slot, err)
+	}
+}
+
+// TestLogRecoverFillsUnlearnedSlots: when no acceptor learned a slot's
+// decision (the proposer died between quorum-accept and Learn), Recover
+// must still converge — adopting the accepted value via the Gap proposal
+// rather than inventing a new one.
+func TestLogRecoverFillsUnlearnedSlots(t *testing.T) {
+	accs := []*Acceptor{NewAcceptor(), NewAcceptor(), NewAcceptor()}
+
+	// Drive slot 1 to quorum-accept by hand, without any Learn.
+	b := Ballot{N: 1, Proposer: 0}
+	for _, a := range accs {
+		if pr, err := a.Prepare(1, b); err != nil || !pr.OK {
+			t.Fatalf("prepare: %v %v", pr, err)
+		}
+	}
+	for _, a := range accs {
+		if ok, err := a.Accept(1, b, []byte("ghost")); err != nil || !ok {
+			t.Fatalf("accept: %v %v", ok, err)
+		}
+	}
+
+	l := NewLog(NewProposer(3, accs))
+	hist, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || string(hist[0].([]byte)) != "ghost" {
+		t.Fatalf("recovered %v, want the accepted ghost value", hist)
+	}
+	if IsGap(hist[0]) {
+		t.Fatal("accepted value must be adopted, not overwritten by Gap")
+	}
+
+	// A slot nobody accepted (acceptor saw a Prepare only) becomes an
+	// explicit Gap.
+	for _, a := range accs {
+		a.Prepare(2, Ballot{N: 9, Proposer: 7})
+	}
+	l2 := NewLog(NewProposer(4, accs))
+	hist2, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist2) != 2 || !IsGap(hist2[1]) {
+		t.Fatalf("unobservable slot must recover as Gap: %v", hist2)
+	}
+}
+
+// TestRecoverNeedsQuorum: with a majority of acceptors down, Recover
+// must refuse rather than rebuild from a minority view.
+func TestRecoverNeedsQuorum(t *testing.T) {
+	accs := []*Acceptor{NewAcceptor(), NewAcceptor(), NewAcceptor()}
+	l := NewLog(NewProposer(0, accs))
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	accs[0].SetDown(true)
+	accs[1].SetDown(true)
+	l2 := NewLog(NewProposer(1, accs))
+	if _, err := l2.Recover(); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("recover with minority: %v", err)
+	}
+}

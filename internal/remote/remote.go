@@ -84,6 +84,10 @@ func responseID(payload any) (uint64, any) {
 		return r.ID, r
 	case wire.OracleResp:
 		return r.ID, r
+	case wire.PaxosResp:
+		return r.ID, r
+	case wire.EpochInfo:
+		return r.ID, r
 	default:
 		return 0, payload
 	}

@@ -169,11 +169,24 @@ type Shard struct {
 	gcReports  map[int]core.Timestamp
 	// gcWM is the watermark of the most recent version collection: every
 	// version whose lifetime ended strictly before it is gone. Historical
-	// reads are answered only at or above it (§4.5). Event-loop owned.
-	gcWM  core.Timestamp
-	pager Pager
-	pool  *workerPool
-	heat  *heatMap
+	// reads are answered only at or above it (§4.5). Crash recovery also
+	// raises it to the recovery horizon — wholesale-reloaded records are
+	// faithful only from their last-update stamps onward, so older reads
+	// must fail typed rather than see truncated history. Event-loop owned
+	// (Recover and re-recovery run pre-Start or on the loop).
+	gcWM core.Timestamp
+	// epoch is the shard's current epoch (event-loop owned): stale-epoch
+	// stream traffic — a crashed gatekeeper's last NOPs straggling in
+	// after the barrier — is dropped instead of poisoning the reset
+	// resequencers.
+	epoch uint64
+	// recoverSrc, when set (SetRecoverSource), lets the epoch barrier
+	// re-scan the backing store for committed writes whose forwarding
+	// gatekeeper died before delivering them.
+	recoverSrc kvstore.Backing
+	pager      Pager
+	pool       *workerPool
+	heat       *heatMap
 	// statsAt is the last index-statistics publication instant
 	// (event-loop owned; see maybePublishStats).
 	statsAt  time.Time
@@ -233,6 +246,7 @@ func New(cfg Config, ep transport.Endpoint, orc oracle.Client, reg *nodeprog.Reg
 		gcReports:  make(map[int]core.Timestamp),
 		heat:       newHeatMap(),
 		ctrl:       make(chan func()),
+		epoch:      cfg.Epoch,
 	}
 	for i := range s.reseq {
 		s.reseq[i] = transport.NewResequencer[queued]()
@@ -299,7 +313,69 @@ func (s *Shard) Recover(kv kvstore.Backing) int {
 	})
 	s.g.LoadAll(recs)
 	s.indexRecords(recs)
+	s.raiseRecoveryHorizon(recs)
 	return len(recs)
+}
+
+// raiseRecoveryHorizon lifts the GC watermark to cover the reloaded
+// records: each becomes visible wholesale at its last-update stamp, so a
+// historical read below that stamp would silently see truncated history —
+// missing versions, missing vertices. Raising gcWM makes such reads fail
+// with the typed stale-snapshot error instead (prog.go/lookup.go gate on
+// it). Reads in later epochs are unaffected: the horizon's old epoch is
+// pointwise-below every new-epoch timestamp.
+func (s *Shard) raiseRecoveryHorizon(recs []*graph.VertexRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	horizon := s.gcWM
+	for _, rec := range recs {
+		if horizon.Zero() {
+			horizon = rec.LastTS
+			continue
+		}
+		horizon = core.PointwiseMax(horizon, rec.LastTS)
+	}
+	s.gcWM = horizon
+}
+
+// SetRecoverSource hands the shard a backing-store handle for epoch-time
+// re-recovery (call before Start). With it set, every epoch barrier
+// re-scans the store for records homed here whose last committed write is
+// missing from the in-memory graph — the fate of a write-set whose owning
+// gatekeeper was killed between backing-store commit and forward. Without
+// a source the shard trusts the forward path alone (the in-process
+// cluster, where a crashed gatekeeper's restart factory re-runs recovery
+// explicitly).
+func (s *Shard) SetRecoverSource(kv kvstore.Backing) { s.recoverSrc = kv }
+
+// reRecoverFromStore reloads committed-but-never-forwarded writes at an
+// epoch barrier. Runs on the event loop.
+func (s *Shard) reRecoverFromStore() {
+	if s.recoverSrc == nil {
+		return
+	}
+	var missing []*graph.VertexRecord
+	s.recoverSrc.ScanPrefix("v/", func(_ string, data []byte) {
+		rec, err := graph.DecodeRecord(data)
+		if err != nil || rec.Deleted || rec.Shard != s.cfg.ID {
+			return
+		}
+		last := s.g.LastWrite(rec.ID)
+		// A resident vertex whose in-memory history already covers the
+		// store's stamp needs nothing; everything else was committed by a
+		// gatekeeper that never delivered the forward.
+		if !last.Zero() && rec.LastTS.Compare(last) != core.After {
+			return
+		}
+		missing = append(missing, rec)
+	})
+	if len(missing) == 0 {
+		return
+	}
+	s.g.LoadAll(missing)
+	s.indexRecords(missing)
+	s.raiseRecoveryHorizon(missing)
 }
 
 // Install loads bulk-ingested vertex records into the in-memory graph,
@@ -370,25 +446,37 @@ func (s *Shard) EnterEpoch(epoch uint64) {
 	done := make(chan struct{})
 	select {
 	case s.ctrl <- func() {
-		for gk := range s.reseq {
-			// Anything still buffered arrived out of order; apply it
-			// in sequence order before resetting (gaps cannot occur
-			// on the in-process fabric: sends land with the commit).
-			for _, item := range s.reseq[gk].Flush() {
-				s.frontier[gk] = item.ts
-				if len(item.ops) > 0 {
-					s.queues[gk] = append(s.queues[gk], item)
-				}
-			}
-			s.reseq[gk].Reset()
-		}
-		s.drainAllQueued()
-		s.pump()
+		s.enterEpochNow(epoch)
 		close(done)
 	}:
 		<-done
 	case <-s.stop:
 	}
+}
+
+// enterEpochNow is the event-loop half of EnterEpoch. It is also invoked
+// inline when the barrier arrives as a wire.EpochChange (handle runs ON
+// the event loop, so routing through the ctrl channel would deadlock).
+func (s *Shard) enterEpochNow(epoch uint64) {
+	for gk := range s.reseq {
+		// Anything still buffered arrived out of order; apply it
+		// in sequence order before resetting (gaps cannot occur
+		// on the in-process fabric: sends land with the commit).
+		for _, item := range s.reseq[gk].Flush() {
+			s.frontier[gk] = item.ts
+			if len(item.ops) > 0 {
+				s.queues[gk] = append(s.queues[gk], item)
+			}
+		}
+		s.reseq[gk].Reset()
+	}
+	s.drainAllQueued()
+	// Over TCP a killed gatekeeper may have committed write-sets to the
+	// backing store without forwarding them anywhere; pull them in now,
+	// while the cluster is quiesced behind the barrier.
+	s.reRecoverFromStore()
+	s.epoch = epoch
+	s.pump()
 }
 
 // drainAllQueued applies every queued transaction in refined timestamp
@@ -569,6 +657,18 @@ func (s *Shard) handle(msg transport.Message) {
 			s.gcReports[m.GK] = m.TS
 			s.maybeGC()
 		}
+	case wire.EpochChange:
+		// Remote-manager barrier (§4.3). We are already on the event
+		// loop and the mailbox was drained before this message, so the
+		// inline epoch entry sees every in-flight old-epoch message.
+		replyTo := m.From
+		if replyTo == "" {
+			replyTo = msg.From
+		}
+		if m.Phase == wire.EpochPhaseEnter {
+			s.enterEpochNow(m.Epoch)
+		}
+		s.ep.Send(replyTo, wire.EpochAck{Epoch: m.Epoch, From: s.ep.Addr(), Phase: m.Phase})
 	}
 }
 
@@ -611,6 +711,14 @@ func readOrTS(readTS, ts core.Timestamp) core.Timestamp {
 func (s *Shard) ingest(ts core.Timestamp, seq uint64, ops []graph.Op, at time.Time, trace uint64) {
 	gk := ts.Owner
 	if gk < 0 || gk >= len(s.queues) {
+		return
+	}
+	// A stale-epoch item — a dead gatekeeper's last traffic straggling in
+	// after the barrier, or a paused peer's pre-barrier NOP delayed by
+	// TCP — must not enter the resequencer: its old sequence numbering
+	// would wedge the reset stream (new-epoch items start at 1) and its
+	// timestamp precedes everything the barrier already drained.
+	if ts.Epoch < s.epoch {
 		return
 	}
 	s.reseq[gk].Push(seq, queued{ts: ts, ops: ops, at: at, trace: trace})

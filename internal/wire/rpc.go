@@ -80,6 +80,50 @@ type OracleResp struct {
 	Stats oracle.Stats
 }
 
+// PaxosOp enumerates remote Paxos acceptor operations, letting the
+// cluster manager's proposer drive a quorum of acceptors spread across
+// weaverd manager processes.
+type PaxosOp uint8
+
+// The remote acceptor operations (mirror paxos.AcceptorAPI).
+const (
+	PaxosPrepare PaxosOp = iota
+	PaxosAccept
+	PaxosLearn
+	PaxosChosen
+	PaxosMaxSeen
+)
+
+// PaxosReq is one acceptor request. Values cross the wire as opaque bytes
+// (the cluster manager gob-encodes its log entries before proposing).
+type PaxosReq struct {
+	ID   uint64
+	Op   PaxosOp
+	Slot uint64
+	// Ballot (Prepare/Accept).
+	N    uint64
+	Prop int32
+	// Proposed or learned value (Accept/Learn).
+	Value    []byte
+	HasValue bool
+}
+
+// PaxosResp answers a PaxosReq.
+type PaxosResp struct {
+	ID uint64
+	// Prepare: OK = promise granted; Accept: OK = accepted.
+	OK bool
+	// Prepare: highest accepted ballot + value, if any. Chosen: the
+	// learned value (HasValue = chosen).
+	AccN     uint64
+	AccProp  int32
+	Value    []byte
+	HasValue bool
+	// MaxSeen result.
+	Max uint64
+	Err string
+}
+
 // RegisterGob registers every message that may cross a TCP connection.
 // Call once per process before using transport.TCPNode. High-traffic
 // messages normally cross as hand-rolled binary frames (frame.go) and
@@ -102,6 +146,10 @@ func RegisterGob() {
 	gob.Register(ShardGCReport{})
 	gob.Register(EpochChange{})
 	gob.Register(EpochAck{})
+	gob.Register(EpochQuery{})
+	gob.Register(EpochInfo{})
+	gob.Register(PaxosReq{})
+	gob.Register(PaxosResp{})
 	gob.Register(Heartbeat{})
 	gob.Register(KVReq{})
 	gob.Register(KVResp{})

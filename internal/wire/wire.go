@@ -289,17 +289,59 @@ type ShardGCReport struct {
 	TS    core.Timestamp
 }
 
+// Epoch-barrier phases carried by EpochChange.Phase. The manager pauses
+// gatekeepers first (stopping new commits), then orders every server into
+// the new epoch; Phase distinguishes the two over the wire. The zero value
+// is Enter, so pre-PR senders that never set Phase keep their meaning.
+const (
+	// EpochPhaseEnter orders the receiver to advance into Epoch (and, for
+	// gatekeepers, to resume paused traffic).
+	EpochPhaseEnter uint8 = 0
+	// EpochPhasePause orders a gatekeeper to stop admitting commits
+	// before the epoch flip (the first half of the barrier).
+	EpochPhasePause uint8 = 1
+)
+
 // EpochChange orders a server into a new epoch during reconfiguration
 // (§4.3). The cluster manager imposes a barrier: servers ack, and the new
-// epoch's traffic starts only after all acks.
+// epoch's traffic starts only after all acks. Phase and From are
+// append-only trailing fields (gob fallback): Phase selects the barrier
+// half, From is the manager address acks should go to.
 type EpochChange struct {
 	Epoch uint64
+	Phase uint8
+	From  transport.Addr
 }
 
-// EpochAck confirms a server has entered the epoch.
+// EpochAck confirms a server has entered (or paused for) the epoch.
 type EpochAck struct {
 	Epoch uint64
 	From  transport.Addr
+	Phase uint8
+}
+
+// EpochQuery asks the cluster manager for the current agreed epoch and
+// failure set. Standby gatekeepers poll it to detect a takeover
+// opportunity; restarting servers use it to join at the right epoch
+// instead of a stale boot-time default.
+type EpochQuery struct {
+	ID   uint64
+	From transport.Addr
+	// Boot marks a query sent by a member process at startup. A boot
+	// query from a member the manager has seen alive means the process
+	// died and came back faster than the failure detector's window —
+	// the manager must still run a rejoin barrier, or the member's
+	// reset FIFO streams stay misaligned with the survivors forever.
+	Boot bool
+}
+
+// EpochInfo answers an EpochQuery: the manager's current epoch and the
+// member addresses currently considered failed (no heartbeat inside the
+// timeout).
+type EpochInfo struct {
+	ID     uint64
+	Epoch  uint64
+	Failed []transport.Addr
 }
 
 // Heartbeat is the liveness signal servers send to the cluster manager.

@@ -201,10 +201,23 @@ func (c *Cluster) MigrateBatch(moves []Move) (int, error) {
 		return 0, nil
 	}
 
+	// Hold the reconfiguration lock for the whole batch: an epoch
+	// recovery that replaced a server between our snapshot below and the
+	// in-memory install would leave the batch mutating a dead instance
+	// while readers route to its replacement. Manager.Recover takes the
+	// same lock (Config.ReconfigLock), so the two stay serialized and
+	// the snapshot cannot go stale mid-batch.
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
+
 	c.serversMu.RLock()
 	gks := append([]*gatekeeper.Gatekeeper(nil), c.gks...)
 	shards := append([]*shard.Shard(nil), c.shards...)
 	c.serversMu.RUnlock()
+
+	if h := c.testHookMigrateSnapshotted; h != nil {
+		h()
+	}
 
 	// One pause for the whole batch — the point of this API.
 	pauseStart := time.Now()

@@ -361,6 +361,19 @@ type Cluster struct {
 	closeErr   error
 	closed     atomic.Bool
 
+	// reconfigMu serializes epoch reconfigurations (Manager.Recover)
+	// against vertex-migration batches. Without it a recovery can replace
+	// c.shards[i] between a batch's server snapshot and its in-memory
+	// install, so the batch evicts from and installs into a dead shard
+	// instance while readers route to the fresh one — an acknowledged
+	// write a reader can no longer see.
+	reconfigMu sync.Mutex
+
+	// testHookMigrateSnapshotted, when non-nil, runs after MigrateBatch
+	// has taken the reconfig lock and snapshotted the live servers —
+	// exactly the window a concurrent recovery used to corrupt.
+	testHookMigrateSnapshotted func()
+
 	rebal rebalState
 }
 
@@ -494,8 +507,11 @@ func Open(cfg Config) (*Cluster, error) {
 		return lag
 	})
 	if heartbeat > 0 {
-		c.mgr = cluster.New(cluster.Config{HeartbeatTimeout: cfg.HeartbeatTimeout, StartEpoch: c.baseEpoch},
-			c.fabric.Endpoint(cluster.Addr))
+		c.mgr = cluster.New(cluster.Config{
+			HeartbeatTimeout: cfg.HeartbeatTimeout,
+			StartEpoch:       c.baseEpoch,
+			ReconfigLock:     &c.reconfigMu,
+		}, c.fabric.Endpoint(cluster.Addr))
 		for i := range c.shards {
 			i := i
 			c.mgr.Register(transport.ShardAddr(i), false, c.shards[i], func(epoch uint64) cluster.Server {
@@ -621,6 +637,41 @@ var (
 	ShardAddr      = transport.ShardAddr
 	GatekeeperAddr = transport.GatekeeperAddr
 )
+
+// errOracleNotReplicated gates the oracle fault-injection surface.
+var errOracleNotReplicated = errors.New("weaver: timeline oracle is not replicated (set Config.OracleReplicas > 1)")
+
+// FailOracleReplica kills one replica of the chain-replicated timeline
+// oracle (failure injection). The chain relinks around it: ordering
+// queries and assignments keep working as long as one replica is live.
+func (c *Cluster) FailOracleReplica(i int) error {
+	rep, ok := c.orc.(*oracle.Replicated)
+	if !ok {
+		return errOracleNotReplicated
+	}
+	rep.FailReplica(i)
+	return nil
+}
+
+// HealOracleReplica rejoins a previously failed oracle replica at the
+// tail of the chain, transferring the live tail's full DAG state to it
+// (§4.3) — decisions made while it was down are preserved byte-for-byte.
+func (c *Cluster) HealOracleReplica(i int) error {
+	rep, ok := c.orc.(*oracle.Replicated)
+	if !ok {
+		return errOracleNotReplicated
+	}
+	return rep.HealReplica(i)
+}
+
+// OracleReplicasLive reports how many oracle chain replicas are serving.
+// Returns 1 for an unreplicated oracle.
+func (c *Cluster) OracleReplicasLive() int {
+	if rep, ok := c.orc.(*oracle.Replicated); ok {
+		return rep.LiveReplicas()
+	}
+	return 1
+}
 
 // Quiesce blocks until every transaction committed so far has been applied
 // by every involved shard's in-memory graph, or the timeout expires. Commit
